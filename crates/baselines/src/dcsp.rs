@@ -1,0 +1,115 @@
+//! DCSP — Decentralized Collaboration Service Placement (Yu et al.,
+//! GLOBECOM 2018), as characterised in Section VI-B of the DMRA paper.
+
+use crate::matching::{self, Preferences, ResourcePool};
+use dmra_core::{Allocation, Allocator, CandidateLink, ProblemInstance};
+use dmra_types::{BsId, UeId};
+
+/// The DCSP baseline.
+///
+/// * **UE side:** propose to the candidate BS with the *lowest resource
+///   occupation* (fraction of the requested service's CRUs plus the uplink
+///   RRBs already committed).
+/// * **BS side:** prefer the proposer that the *fewest* BSs can cover
+///   (smallest `f_u`), tie-breaking by least radio consumption
+///   (`n_{u,i}`), then by UE id for determinism.
+///
+/// DCSP balances load well but is blind to SP boundaries and prices, which
+/// is exactly where DMRA gains its profit edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dcsp {
+    whole_bs_occupancy: bool,
+}
+
+impl Dcsp {
+    /// Creates the DCSP baseline (per-service occupancy reading).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The DMRA paper's one-line description of DCSP ("lowest resource
+    /// occupation") is ambiguous between the occupancy of the requested
+    /// service and of the whole BS. This constructor selects the
+    /// whole-BS reading; the default is per-service.
+    #[must_use]
+    pub fn with_whole_bs_occupancy() -> Self {
+        Self {
+            whole_bs_occupancy: true,
+        }
+    }
+}
+
+impl Preferences for Dcsp {
+    fn ue_score(
+        &self,
+        instance: &ProblemInstance,
+        pool: &ResourcePool,
+        ue: UeId,
+        link: &CandidateLink,
+    ) -> f64 {
+        if self.whole_bs_occupancy {
+            return pool.total_occupancy(link.bs);
+        }
+        let service_idx = instance.ues()[ue.as_usize()].service.as_usize();
+        pool.occupancy(link.bs, service_idx)
+    }
+
+    fn bs_key(&self, instance: &ProblemInstance, bs: BsId, ue: UeId) -> (u64, u64, u64) {
+        let link = instance.link(ue, bs).expect("proposer is candidate");
+        matching::smaller_is_better(instance.f_u(ue), link.n_rrbs.get(), ue.index())
+    }
+}
+
+impl Allocator for Dcsp {
+    fn name(&self) -> &str {
+        "DCSP"
+    }
+
+    fn allocate(&self, instance: &ProblemInstance) -> Allocation {
+        matching::run(instance, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::small_grid_instance;
+
+    #[test]
+    fn dcsp_allocations_validate() {
+        let inst = small_grid_instance(40, 7);
+        let alloc = Dcsp::new().allocate(&inst);
+        alloc.validate(&inst).unwrap();
+        assert!(alloc.edge_served() > 0);
+    }
+
+    #[test]
+    fn dcsp_is_deterministic() {
+        let inst = small_grid_instance(30, 3);
+        assert_eq!(Dcsp::new().allocate(&inst), Dcsp::new().allocate(&inst));
+    }
+
+    #[test]
+    fn whole_bs_occupancy_reading_also_validates() {
+        let inst = small_grid_instance(40, 7);
+        let alloc = Dcsp::with_whole_bs_occupancy().allocate(&inst);
+        alloc.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn occupancy_scoring_serves_most_covered_ues() {
+        // Some random UEs fall outside every BS's coverage and must go to the
+        // cloud; among *covered* UEs DCSP should serve the large majority
+        // when capacity is plentiful.
+        let inst = small_grid_instance(20, 11);
+        let alloc = Dcsp::new().allocate(&inst);
+        let covered = inst.ues().iter().filter(|u| inst.f_u(u.id) > 0).count();
+        assert!(covered > 0);
+        let served = alloc.edge_served();
+        assert!(
+            served as f64 >= 0.7 * covered as f64,
+            "served {served} of {covered} covered UEs"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! A generic deferred-acceptance matching loop shared by [`crate::Dcsp`]
+//! and [`crate::NonCo`].
+//!
+//! Both baselines have the same skeleton as DMRA's Algorithm 1 — iterate
+//! (UEs propose to their best feasible candidate; each BS picks one winner
+//! per service, applies RRB admission, commits) — and differ only in the
+//! two preference functions. This module hosts the skeleton; the baselines
+//! supply the preferences.
+
+use dmra_core::{Allocation, CandidateLink, ProblemInstance};
+use dmra_types::{BsId, Cru, RrbCount, UeId};
+use std::collections::BTreeMap;
+
+/// Mutable per-BS resource pool tracked during matching.
+#[derive(Debug, Clone)]
+pub(crate) struct ResourcePool {
+    /// Remaining CRUs, indexed `[bs][service]`.
+    pub(crate) rem_cru: Vec<Vec<Cru>>,
+    /// Remaining RRBs, indexed by BS.
+    pub(crate) rem_rrb: Vec<RrbCount>,
+    /// Static capacities (some baselines score by occupancy fraction).
+    pub(crate) cap_cru: Vec<Vec<Cru>>,
+    /// Static RRB capacities.
+    pub(crate) cap_rrb: Vec<RrbCount>,
+}
+
+impl ResourcePool {
+    pub(crate) fn new(instance: &ProblemInstance) -> Self {
+        let cap_cru: Vec<Vec<Cru>> =
+            instance.bss().iter().map(|b| b.cru_budget.clone()).collect();
+        let cap_rrb: Vec<RrbCount> = instance.bss().iter().map(|b| b.rrb_budget).collect();
+        Self {
+            rem_cru: cap_cru.clone(),
+            rem_rrb: cap_rrb.clone(),
+            cap_cru,
+            cap_rrb,
+        }
+    }
+
+    /// Can `bs` still serve a UE demanding `cru` of `service_idx` and
+    /// `n_rrbs` radio blocks?
+    pub(crate) fn fits(&self, bs: BsId, service_idx: usize, cru: Cru, n_rrbs: RrbCount) -> bool {
+        let i = bs.as_usize();
+        self.rem_cru[i][service_idx] >= cru && self.rem_rrb[i] >= n_rrbs
+    }
+
+    /// Fraction of the BS's combined (service CRU + RRB) capacity in use —
+    /// the "resource occupation" DCSP minimises (per-service reading).
+    pub(crate) fn occupancy(&self, bs: BsId, service_idx: usize) -> f64 {
+        let i = bs.as_usize();
+        let cap = self.cap_cru[i][service_idx].as_f64() + self.cap_rrb[i].as_f64();
+        if cap <= 0.0 {
+            return 1.0;
+        }
+        let rem = self.rem_cru[i][service_idx].as_f64() + self.rem_rrb[i].as_f64();
+        1.0 - rem / cap
+    }
+
+    /// Whole-BS occupancy: all services' CRUs plus the RRBs (the other
+    /// reading of DCSP's "resource occupation"; kept for comparison).
+    pub(crate) fn total_occupancy(&self, bs: BsId) -> f64 {
+        let i = bs.as_usize();
+        let cap: f64 = self.cap_cru[i].iter().map(|c| c.as_f64()).sum::<f64>()
+            + self.cap_rrb[i].as_f64();
+        if cap <= 0.0 {
+            return 1.0;
+        }
+        let rem: f64 = self.rem_cru[i].iter().map(|c| c.as_f64()).sum::<f64>()
+            + self.rem_rrb[i].as_f64();
+        1.0 - rem / cap
+    }
+}
+
+/// The two preference functions a baseline must provide.
+pub(crate) trait Preferences {
+    /// UE-side score of a candidate link; **lower is better**. Called with
+    /// the live resource pool so scores may be occupancy-dependent.
+    fn ue_score(
+        &self,
+        instance: &ProblemInstance,
+        pool: &ResourcePool,
+        ue: UeId,
+        link: &CandidateLink,
+    ) -> f64;
+
+    /// BS-side preference for a proposer; **larger is better**.
+    fn bs_key(&self, instance: &ProblemInstance, bs: BsId, ue: UeId) -> (u64, u64, u64);
+}
+
+/// Runs the deferred-acceptance loop to quiescence.
+///
+/// Identical structure to DMRA's Algorithm 1 (propose → select per
+/// service → RRB admission → commit), with the preferences injected. Like
+/// DMRA it terminates after at most `|U| + 1` iterations because every BS
+/// that receives proposals accepts at least one.
+pub(crate) fn run<P: Preferences>(instance: &ProblemInstance, prefs: &P) -> Allocation {
+    let n_ues = instance.n_ues();
+    let mut pool = ResourcePool::new(instance);
+    let mut b_u: Vec<Vec<CandidateLink>> = (0..n_ues)
+        .map(|u| instance.candidates(UeId::new(u as u32)).to_vec())
+        .collect();
+    let mut assigned: Vec<Option<BsId>> = vec![None; n_ues];
+    let mut cloud = vec![false; n_ues];
+
+    // Bounded for safety; the loop provably quiesces much earlier.
+    for _ in 0..(2 * n_ues + 2) {
+        // UE side.
+        let mut proposals: BTreeMap<u32, BTreeMap<u32, Vec<UeId>>> = BTreeMap::new();
+        let mut any = false;
+        for u in 0..n_ues {
+            if assigned[u].is_some() || cloud[u] {
+                continue;
+            }
+            let ue = UeId::new(u as u32);
+            let spec = &instance.ues()[u];
+            loop {
+                if b_u[u].is_empty() {
+                    cloud[u] = true;
+                    break;
+                }
+                let best = b_u[u]
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, link)| (idx, prefs.ue_score(instance, &pool, ue, link), link.bs))
+                    .min_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.2.cmp(&b.2))
+                    })
+                    .map(|(idx, _, _)| idx)
+                    .expect("non-empty");
+                let link = b_u[u][best];
+                if pool.fits(link.bs, spec.service.as_usize(), spec.cru_demand, link.n_rrbs) {
+                    proposals
+                        .entry(link.bs.index())
+                        .or_default()
+                        .entry(spec.service.index())
+                        .or_default()
+                        .push(ue);
+                    any = true;
+                    break;
+                }
+                b_u[u].remove(best);
+            }
+        }
+        if !any {
+            break;
+        }
+
+        // BS side.
+        for (bs_idx, per_service) in proposals {
+            let bs = BsId::new(bs_idx);
+            let mut winners: Vec<UeId> = Vec::new();
+            for (_svc, cands) in per_service {
+                let winner = *cands
+                    .iter()
+                    .max_by_key(|&&u| prefs.bs_key(instance, bs, u))
+                    .expect("non-empty");
+                winners.push(winner);
+            }
+            let demand =
+                |u: UeId| instance.link(u, bs).expect("winner is candidate").n_rrbs;
+            let mut total: RrbCount = winners.iter().map(|&u| demand(u)).sum();
+            if total > pool.rem_rrb[bs.as_usize()] {
+                // Best-first, then drop from the tail until the batch fits.
+                winners.sort_by_key(|&u| std::cmp::Reverse(prefs.bs_key(instance, bs, u)));
+                while total > pool.rem_rrb[bs.as_usize()] {
+                    let dropped = winners.pop().expect("cannot empty before fitting");
+                    total -= demand(dropped);
+                }
+            }
+            for u in winners {
+                let spec = &instance.ues()[u.as_usize()];
+                let link = instance.link(u, bs).expect("winner is candidate");
+                pool.rem_cru[bs.as_usize()][spec.service.as_usize()] -= spec.cru_demand;
+                pool.rem_rrb[bs.as_usize()] -= link.n_rrbs;
+                assigned[u.as_usize()] = Some(bs);
+            }
+        }
+    }
+    Allocation::from_assignments(assigned)
+}
+
+/// Packs "smaller raw value is more preferred" criteria into a key where
+/// larger is better, for use with `max_by_key`.
+pub(crate) fn smaller_is_better(a: u32, b: u32, c: u32) -> (u64, u64, u64) {
+    (
+        u64::from(u32::MAX - a),
+        u64::from(u32::MAX - b),
+        u64::from(u32::MAX - c),
+    )
+}

@@ -1,0 +1,71 @@
+//! Shared scenario builder for the baseline unit tests.
+//!
+//! Deliberately small (2 SPs × 4 BSs, one service pair) so individual
+//! algorithm behaviours stay inspectable; the full paper-scale scenarios
+//! live in `dmra-sim`.
+
+use dmra_core::{CoverageModel, ProblemInstance};
+use dmra_econ::PricingConfig;
+use dmra_geo::placement;
+use dmra_geo::rng::component_rng;
+use dmra_radio::RadioConfig;
+use dmra_types::{
+    BitsPerSec, BsId, BsSpec, Cru, Dbm, Hertz, Money, Rect, RrbCount, ServiceCatalog, ServiceId,
+    SpId, SpSpec, UeId, UeSpec,
+};
+use rand::Rng;
+
+/// Builds a 2-SP, 4-BS, 2-service instance with `n_ues` random UEs.
+pub(crate) fn small_grid_instance(n_ues: usize, seed: u64) -> ProblemInstance {
+    let sps = vec![
+        SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0)),
+        SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0)),
+    ];
+    let catalog = ServiceCatalog::new(2);
+    let region = Rect::default();
+    let sites = placement::regular_grid(2, 2, dmra_types::Meters::new(300.0), region);
+    let mut rng = component_rng(seed, "test-support");
+    let bss: Vec<BsSpec> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| {
+            BsSpec::new(
+                BsId::new(i as u32),
+                SpId::new((i % 2) as u32),
+                pos,
+                vec![
+                    Cru::new(rng.random_range(100..=150)),
+                    Cru::new(rng.random_range(100..=150)),
+                ],
+                Hertz::from_mhz(10.0),
+                RrbCount::new(55),
+            )
+        })
+        .collect();
+    let positions = placement::uniform_random(n_ues, region, &mut rng);
+    let ues: Vec<UeSpec> = positions
+        .into_iter()
+        .enumerate()
+        .map(|(u, pos)| {
+            UeSpec::new(
+                UeId::new(u as u32),
+                SpId::new(rng.random_range(0..2)),
+                pos,
+                ServiceId::new(rng.random_range(0..2)),
+                Cru::new(rng.random_range(3..=5)),
+                BitsPerSec::from_mbps(rng.random_range(2.0..=6.0)),
+                Dbm::new(10.0),
+            )
+        })
+        .collect();
+    ProblemInstance::build(
+        sps,
+        bss,
+        ues,
+        catalog,
+        PricingConfig::paper_defaults(),
+        RadioConfig::paper_defaults(),
+        CoverageModel::default(),
+    )
+    .expect("test instance is valid")
+}

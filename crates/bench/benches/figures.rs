@@ -1,0 +1,56 @@
+//! One bench per paper figure: the wall-clock cost of regenerating each
+//! figure's data at quick-replication settings.
+//!
+//! These double as executable documentation of the per-figure workloads —
+//! `cargo bench -p dmra-bench --bench figures` exercises exactly the code
+//! paths the `figures` binary uses for the committed EXPERIMENTS.md data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmra_sim::experiments::{self, ExperimentOptions};
+use std::hint::black_box;
+
+fn quick() -> ExperimentOptions {
+    ExperimentOptions {
+        replications: 1,
+        base_seed: 42,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure-regeneration");
+    group.sample_size(10);
+    group.bench_function("fig2", |b| {
+        b.iter(|| black_box(experiments::fig2(&quick()).unwrap()))
+    });
+    group.bench_function("fig3", |b| {
+        b.iter(|| black_box(experiments::fig3(&quick()).unwrap()))
+    });
+    group.bench_function("fig4", |b| {
+        b.iter(|| black_box(experiments::fig4(&quick()).unwrap()))
+    });
+    group.bench_function("fig5", |b| {
+        b.iter(|| black_box(experiments::fig5(&quick()).unwrap()))
+    });
+    group.bench_function("fig6", |b| {
+        b.iter(|| black_box(experiments::fig6(&quick()).unwrap()))
+    });
+    group.bench_function("fig7", |b| {
+        b.iter(|| black_box(experiments::fig7(&quick()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-regeneration");
+    group.sample_size(10);
+    group.bench_function("ablation_same_sp", |b| {
+        b.iter(|| black_box(experiments::ablation_same_sp_preference(&quick()).unwrap()))
+    });
+    group.bench_function("ablation_interference", |b| {
+        b.iter(|| black_box(experiments::ablation_interference(&quick()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Overhead of the genuinely decentralized execution relative to the
+//! centralized-state matcher, and the cost of fault injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmra_bench::bench_instance;
+use dmra_core::agents::run_decentralized;
+use dmra_core::{Allocator, Dmra, DmraConfig};
+use dmra_proto::DropPolicy;
+use std::hint::black_box;
+
+fn bench_centralized_vs_decentralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution-style");
+    group.sample_size(10);
+    for &n_ues in &[200usize, 400] {
+        let instance = bench_instance(n_ues, 7);
+        let config = DmraConfig::paper_defaults();
+        group.bench_with_input(
+            BenchmarkId::new("centralized", n_ues),
+            &instance,
+            |b, inst| {
+                let dmra = Dmra::new(config);
+                b.iter(|| black_box(dmra.allocate(black_box(inst))))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decentralized", n_ues),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        run_decentralized(inst, &config, DropPolicy::reliable(), 100_000)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decentralized-lossy-10pct", n_ues),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        run_decentralized(inst, &config, DropPolicy::new(0.1, 3), 100_000)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized_vs_decentralized);
+criterion_main!(benches);

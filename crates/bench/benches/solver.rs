@@ -1,0 +1,49 @@
+//! Wall-clock performance of the allocators at and beyond paper scale.
+//!
+//! The paper's complexity claim is `O(|U|²·|B| + |B|²·|U|·|S|)`; in
+//! practice the matcher converges in a handful of iterations, so observed
+//! scaling is near-linear in `|U|`. This bench pins that down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmra_baselines::{Dcsp, GreedyProfit, NonCo};
+use dmra_bench::bench_instance;
+use dmra_core::{Allocator, Dmra};
+use std::hint::black_box;
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate");
+    for &n_ues in &[200usize, 400, 900, 1800] {
+        let instance = bench_instance(n_ues, 7);
+        let dmra = Dmra::default();
+        let dcsp = Dcsp::default();
+        let nonco = NonCo::default();
+        let greedy = GreedyProfit::default();
+        let algos: [(&str, &dyn Allocator); 4] = [
+            ("DMRA", &dmra),
+            ("DCSP", &dcsp),
+            ("NonCo", &nonco),
+            ("GreedyProfit", &greedy),
+        ];
+        for (name, algo) in algos {
+            group.bench_with_input(
+                BenchmarkId::new(name, n_ues),
+                &instance,
+                |b, inst| b.iter(|| black_box(algo.allocate(black_box(inst)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_instance_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance-build");
+    for &n_ues in &[400usize, 900, 1800] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_ues), &n_ues, |b, &n| {
+            b.iter(|| black_box(bench_instance(n, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_instance_build);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Regenerates the data behind every figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dmra-bench --bin figures -- all
+//! cargo run --release -p dmra-bench --bin figures -- fig2 fig7
+//! cargo run --release -p dmra-bench --bin figures -- --quick ablations
+//! ```
+//!
+//! Markdown tables go to stdout; CSVs are written to `results/<name>.csv`.
+
+use dmra_sim::experiments::{self, ExperimentOptions};
+use dmra_sim::Table;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = if quick {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions::paper()
+    };
+    let mut requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if requested.is_empty() {
+        requested.push("all");
+    }
+
+    let mut jobs: Vec<&str> = Vec::new();
+    for r in requested {
+        match r {
+            "all" => jobs.extend(["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"]),
+            "ablations" => jobs.extend([
+                "ablation_same_sp",
+                "ablation_interference",
+                "decentralized_cost",
+                "iota_sweep",
+                "online_comparison",
+            ]),
+            other => jobs.push(other),
+        }
+    }
+    jobs.dedup();
+
+    fs::create_dir_all("results").expect("can create results/ directory");
+    for job in jobs {
+        let table = run_job(job, &opts);
+        match table {
+            Ok(table) => emit(job, &table),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_job(job: &str, opts: &ExperimentOptions) -> Result<Table, String> {
+    let result = match job {
+        "fig2" => experiments::fig2(opts),
+        "fig3" => experiments::fig3(opts),
+        "fig4" => experiments::fig4(opts),
+        "fig5" => experiments::fig5(opts),
+        "fig6" => experiments::fig6(opts),
+        "fig7" => experiments::fig7(opts),
+        "ablation_same_sp" => experiments::ablation_same_sp_preference(opts),
+        "ablation_interference" => experiments::ablation_interference(opts),
+        "decentralized_cost" => experiments::decentralized_cost(opts),
+        "iota_sweep" => experiments::iota_sweep(opts),
+        "online_comparison" => experiments::online_comparison(opts),
+        other => {
+            return Err(format!(
+                "unknown experiment '{other}' (expected fig2..fig7, \
+                 ablation_same_sp, ablation_interference, decentralized_cost, \
+                 iota_sweep, all, ablations)"
+            ))
+        }
+    };
+    result.map_err(|e| format!("{job}: {e}"))
+}
+
+fn emit(name: &str, table: &Table) {
+    println!("{}", table.to_markdown());
+    println!("{}", table.to_sparklines());
+    let csv = Path::new("results").join(format!("{name}.csv"));
+    fs::write(&csv, table.to_csv()).expect("can write CSV");
+    let gp = Path::new("results").join(format!("{name}.gnuplot"));
+    fs::write(&gp, table.to_gnuplot(&format!("{name}.csv"))).expect("can write gnuplot script");
+    eprintln!("wrote {} and {}", csv.display(), gp.display());
+}

@@ -1,0 +1,47 @@
+//! Benchmark harness for the DMRA reproduction.
+//!
+//! Two kinds of artifacts live here:
+//!
+//! * **Criterion benches** (`benches/`): wall-clock performance of the
+//!   allocators (`solver`), the per-figure workloads (`figures`) and the
+//!   decentralized protocol overhead (`protocol`). Run with
+//!   `cargo bench -p dmra-bench`.
+//! * **The `figures` binary** (`src/bin/figures.rs`): regenerates the data
+//!   behind every figure of the paper (Figs. 2–7) and the ablations, as
+//!   markdown to stdout and CSV files under `results/`. Run with
+//!   `cargo run --release -p dmra-bench --bin figures -- all`.
+//!
+//! This library crate only hosts small shared helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dmra_core::ProblemInstance;
+use dmra_sim::ScenarioConfig;
+
+/// Builds the standard paper-scale instance used by the performance
+/// benches: paper defaults with the given UE count and seed.
+///
+/// # Panics
+///
+/// Panics if the paper-default scenario fails to build (it cannot).
+#[must_use]
+pub fn bench_instance(n_ues: usize, seed: u64) -> ProblemInstance {
+    ScenarioConfig::paper_defaults()
+        .with_ues(n_ues)
+        .with_seed(seed)
+        .build()
+        .expect("paper-default scenario builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_instance_builds_at_paper_scale() {
+        let inst = bench_instance(400, 1);
+        assert_eq!(inst.n_ues(), 400);
+        assert_eq!(inst.n_bss(), 25);
+    }
+}

@@ -1,0 +1,158 @@
+//! A small, dependency-free argument parser for the `dmra` binary.
+//!
+//! Grammar: `dmra <command> [--key value]... [--flag]...`. Keys are
+//! validated per command; unknown keys are errors, every key takes exactly
+//! one value. No external CLI crate is used (DESIGN.md limits the
+//! dependency set to the numeric/test stack).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the command word plus its `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The command word (`run`, `sweep`, `protocol`, `dynamic`, `help`).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// A parse or validation failure, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a missing command, a key without a value,
+    /// or a positional argument after the command.
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into);
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing command; try `dmra help`".into()))?;
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{arg}' (options are --key value)"
+                )));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("option --{key} requires a value")))?;
+            if options.insert(key.to_owned(), value).is_some() {
+                return Err(ArgError(format!("option --{key} given twice")));
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    /// Rejects any option key outside `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown option.
+    pub fn expect_keys(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{key} for '{}' (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a string option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Returns a typed option, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("option --{key}: cannot parse '{raw}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = ParsedArgs::parse(["run", "--ues", "600", "--algo", "dmra"]).unwrap();
+        assert_eq!(p.command, "run");
+        assert_eq!(p.get("ues"), Some("600"));
+        assert_eq!(p.get_or("ues", 0usize).unwrap(), 600);
+        assert_eq!(p.get_or("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        let err = ParsedArgs::parse(Vec::<String>::new()).unwrap_err();
+        assert!(err.to_string().contains("missing command"));
+    }
+
+    #[test]
+    fn key_without_value_is_an_error() {
+        let err = ParsedArgs::parse(["run", "--ues"]).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn duplicate_key_is_an_error() {
+        let err = ParsedArgs::parse(["run", "--ues", "1", "--ues", "2"]).unwrap_err();
+        assert!(err.to_string().contains("given twice"));
+    }
+
+    #[test]
+    fn positional_after_command_is_an_error() {
+        let err = ParsedArgs::parse(["run", "oops"]).unwrap_err();
+        assert!(err.to_string().contains("unexpected positional"));
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_by_validation() {
+        let p = ParsedArgs::parse(["run", "--bogus", "1"]).unwrap();
+        let err = p.expect_keys(&["ues", "seed"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+        assert!(err.to_string().contains("--ues"));
+    }
+
+    #[test]
+    fn bad_typed_value_is_an_error() {
+        let p = ParsedArgs::parse(["run", "--ues", "lots"]).unwrap();
+        let err = p.get_or("ues", 0usize).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
+    }
+}

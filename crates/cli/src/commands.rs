@@ -1,0 +1,397 @@
+//! Command implementations. Each returns the text to print, so the whole
+//! surface is unit-testable without capturing stdout.
+
+use crate::args::{ArgError, ParsedArgs};
+use dmra_baselines::{CloudOnly, Dcsp, GreedyProfit, NonCo, RandomAllocator};
+use dmra_core::agents::run_decentralized;
+use dmra_core::{Allocator, Dmra, DmraConfig};
+use dmra_proto::DropPolicy;
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra_sim::erlang::TrunkModel;
+use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
+use dmra_sim::{Metrics, ScenarioConfig, SweepRunner};
+
+/// The `dmra help` text.
+#[must_use]
+pub fn help_text() -> String {
+    "dmra — DMRA (ICDCS 2019) multi-SP MEC resource allocation\n\
+     \n\
+     USAGE: dmra <command> [--key value]...\n\
+     \n\
+     COMMANDS\n\
+     run       run one scenario\n\
+     \t--ues N        number of UEs               (default 600)\n\
+     \t--seed S       scenario seed               (default 42)\n\
+     \t--iota X       cross-SP markup             (default 2.0)\n\
+     \t--rho X        Eq. (17) weight             (default 100)\n\
+     \t--placement P  regular | random            (default regular)\n\
+     \t--algo A       dmra|dcsp|nonco|greedy|random|cloud|all (default all)\n\
+     sweep     profit vs #UEs table (DMRA, DCSP, NonCo)\n\
+     \t--seed S --iota X --placement P --reps R   (defaults 42, 2.0, regular, 3)\n\
+     \t--format F     markdown | csv              (default markdown)\n\
+     protocol  decentralized execution statistics\n\
+     \t--ues N --seed S --drop PCT                (defaults 400, 42, 0)\n\
+     dynamic   online arrivals/departures\n\
+     \t--rate X       arrivals per epoch          (default 40)\n\
+     \t--holding X    mean holding epochs         (default 5)\n\
+     \t--epochs N     horizon                     (default 50)\n\
+     \t--seed S                                   (default 42)\n\
+     mobility  moving UEs, handover statistics\n\
+     \t--ues N --speed MPS --epochs N --seed S    (defaults 300, 5, 30, 42)\n\
+     \t--policy P     full | sticky               (default full)\n\
+     plan      Erlang-B blocking prediction & dimensioning\n\
+     \t--rate X --holding X --target PCT          (defaults 100, 5, 2)\n\
+     help      this text\n"
+        .to_owned()
+}
+
+/// Dispatches a parsed command line to its implementation.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown commands/options or failed runs.
+pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    match parsed.command.as_str() {
+        "run" => cmd_run(parsed),
+        "sweep" => cmd_sweep(parsed),
+        "protocol" => cmd_protocol(parsed),
+        "dynamic" => cmd_dynamic(parsed),
+        "mobility" => cmd_mobility(parsed),
+        "plan" => cmd_plan(parsed),
+        "help" => Ok(help_text()),
+        other => Err(ArgError(format!(
+            "unknown command '{other}'; try `dmra help`"
+        ))),
+    }
+}
+
+fn scenario_from(parsed: &ParsedArgs) -> Result<ScenarioConfig, ArgError> {
+    let mut cfg = ScenarioConfig::paper_defaults()
+        .with_ues(parsed.get_or("ues", 600usize)?)
+        .with_seed(parsed.get_or("seed", 42u64)?)
+        .with_iota(parsed.get_or("iota", 2.0f64)?);
+    match parsed.get("placement").unwrap_or("regular") {
+        "regular" => {}
+        "random" => cfg = cfg.with_random_placement(),
+        other => {
+            return Err(ArgError(format!(
+                "--placement must be 'regular' or 'random', got '{other}'"
+            )))
+        }
+    }
+    Ok(cfg)
+}
+
+fn algorithms(selector: &str, seed: u64, rho: f64) -> Result<Vec<Box<dyn Allocator>>, ArgError> {
+    let dmra = || Box::new(Dmra::new(DmraConfig::paper_defaults().with_rho(rho)));
+    Ok(match selector {
+        "dmra" => vec![dmra()],
+        "dcsp" => vec![Box::new(Dcsp::default())],
+        "nonco" => vec![Box::new(NonCo::default())],
+        "greedy" => vec![Box::new(GreedyProfit::default())],
+        "random" => vec![Box::new(RandomAllocator::new(seed))],
+        "cloud" => vec![Box::new(CloudOnly::default())],
+        "all" => vec![
+            dmra(),
+            Box::new(Dcsp::default()),
+            Box::new(NonCo::default()),
+            Box::new(GreedyProfit::default()),
+            Box::new(RandomAllocator::new(seed)),
+            Box::new(CloudOnly::default()),
+        ],
+        other => {
+            return Err(ArgError(format!(
+                "--algo must be dmra|dcsp|nonco|greedy|random|cloud|all, got '{other}'"
+            )))
+        }
+    })
+}
+
+fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.expect_keys(&["ues", "seed", "iota", "rho", "placement", "algo"])?;
+    let seed = parsed.get_or("seed", 42u64)?;
+    let rho = parsed.get_or("rho", 100.0f64)?;
+    let instance = scenario_from(parsed)?
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "{} SPs, {} BSs, {} UEs, {} services\n\n{:<14} {:>12} {:>8} {:>8} {:>9} {:>9}\n",
+        instance.n_sps(),
+        instance.n_bss(),
+        instance.n_ues(),
+        instance.catalog().len(),
+        "algorithm",
+        "profit",
+        "served",
+        "cloud",
+        "same-SP%",
+        "RRB-util%"
+    );
+    for algo in algorithms(parsed.get("algo").unwrap_or("all"), seed, rho)? {
+        let allocation = algo.allocate(&instance);
+        allocation
+            .validate(&instance)
+            .map_err(|e| ArgError(format!("{}: {e}", algo.name())))?;
+        let m = Metrics::compute(&instance, &allocation);
+        out.push_str(&format!(
+            "{:<14} {:>12.1} {:>8} {:>8} {:>9.1} {:>9.1}\n",
+            algo.name(),
+            m.total_profit.get(),
+            m.edge_served,
+            m.cloud_forwarded,
+            m.same_sp_fraction * 100.0,
+            m.rrb_utilization * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.expect_keys(&["seed", "iota", "placement", "reps", "format"])?;
+    let base = scenario_from(parsed)?;
+    let reps = parsed.get_or("reps", 3u32)?;
+    if reps == 0 {
+        return Err(ArgError("--reps must be at least 1".into()));
+    }
+    let runner = SweepRunner::new(reps, parsed.get_or("seed", 42u64)?);
+    let points: Vec<(f64, ScenarioConfig)> = dmra_sim::experiments::UE_COUNTS
+        .iter()
+        .map(|&n| (n as f64, base.clone().with_ues(n)))
+        .collect();
+    let dmra = Dmra::default();
+    let dcsp = Dcsp::default();
+    let nonco = NonCo::default();
+    let algos: Vec<&dyn Allocator> = vec![&dmra, &dcsp, &nonco];
+    let table = runner
+        .run_profit("Total SP profit vs number of UEs", "#UEs", &points, &algos)
+        .map_err(|e| ArgError(e.to_string()))?;
+    match parsed.get("format").unwrap_or("markdown") {
+        "markdown" => Ok(table.to_markdown()),
+        "csv" => Ok(table.to_csv()),
+        other => Err(ArgError(format!(
+            "--format must be 'markdown' or 'csv', got '{other}'"
+        ))),
+    }
+}
+
+fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.expect_keys(&["ues", "seed", "drop", "iota", "placement", "rho"])?;
+    let drop_pct = parsed.get_or("drop", 0.0f64)?;
+    if !(0.0..100.0).contains(&drop_pct) {
+        return Err(ArgError("--drop must be a percentage in [0, 100)".into()));
+    }
+    let seed = parsed.get_or("seed", 42u64)?;
+    let rho = parsed.get_or("rho", 100.0f64)?;
+    let mut cfg = scenario_from(parsed)?;
+    cfg.n_ues = parsed.get_or("ues", 400usize)?;
+    let instance = cfg.build().map_err(|e| ArgError(e.to_string()))?;
+    let policy = if drop_pct > 0.0 {
+        DropPolicy::new(drop_pct / 100.0, seed)
+    } else {
+        DropPolicy::reliable()
+    };
+    let out = run_decentralized(
+        &instance,
+        &DmraConfig::paper_defaults().with_rho(rho),
+        policy,
+        100_000,
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
+    let mut text = format!(
+        "rounds:    {}\nmessages:  {} ({} dropped, {} bytes)\n",
+        out.stats.rounds, out.stats.messages_sent, out.stats.messages_dropped, out.stats.bytes_sent
+    );
+    for (kind, count) in &out.stats.by_kind {
+        text.push_str(&format!("  {kind:<18} {count}\n"));
+    }
+    text.push_str(&format!(
+        "served:    {} of {}\nprofit:    {:.1}\nconflicts: {}\n",
+        out.allocation.edge_served(),
+        instance.n_ues(),
+        instance.total_profit(&out.allocation).get(),
+        out.conflicting_accepts
+    ));
+    Ok(text)
+}
+
+fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.expect_keys(&["rate", "holding", "epochs", "seed", "iota", "placement"])?;
+    let config = DynamicConfig {
+        scenario: scenario_from(parsed)?,
+        arrival_rate: parsed.get_or("rate", 40.0f64)?,
+        mean_holding: parsed.get_or("holding", 5.0f64)?,
+        epochs: parsed.get_or("epochs", 50usize)?,
+        seed: parsed.get_or("seed", 42u64)?,
+    };
+    let out = DynamicSimulator::new(config)
+        .run()
+        .map_err(|e| ArgError(e.to_string()))?;
+    Ok(format!(
+        "arrivals:          {}\nadmitted:          {} ({:.1}%)\ncloud forwarded:   {}\n\
+         completed:         {}\ntotal profit:      {:.1}\nsteady-state RRB:  {:.1}%\n",
+        out.arrivals,
+        out.admitted,
+        out.admission_ratio() * 100.0,
+        out.cloud_forwarded,
+        out.completed,
+        out.total_profit.get(),
+        out.steady_state_occupancy() * 100.0
+    ))
+}
+
+fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.expect_keys(&["ues", "speed", "epochs", "seed", "iota", "placement", "policy"])?;
+    let speed = parsed.get_or("speed", 5.0f64)?;
+    if speed < 0.0 {
+        return Err(ArgError("--speed must be non-negative".into()));
+    }
+    let mut scenario = scenario_from(parsed)?;
+    scenario.n_ues = parsed.get_or("ues", 300usize)?;
+    let policy = match parsed.get("policy").unwrap_or("full") {
+        "full" => MobilityPolicy::FullReallocation,
+        "sticky" => MobilityPolicy::Sticky,
+        other => {
+            return Err(ArgError(format!(
+                "--policy must be 'full' or 'sticky', got '{other}'"
+            )))
+        }
+    };
+    let config = MobilityConfig {
+        scenario,
+        speed_mps: (speed, speed),
+        epoch_seconds: 10.0,
+        epochs: parsed.get_or("epochs", 30usize)?,
+        seed: parsed.get_or("seed", 42u64)?,
+        policy,
+    };
+    let out = MobilitySimulator::new(config)
+        .run()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let served_last = out.served_timeline.last().copied().unwrap_or(0);
+    Ok(format!(
+        "handovers:       {}
+handover rate:   {:.4} per served-UE-epoch
+         drops:           {}
+recoveries:      {}
+served (final):  {served_last}
+",
+        out.handovers,
+        out.handover_rate(),
+        out.drops,
+        out.recoveries
+    ))
+}
+
+fn cmd_plan(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    parsed.expect_keys(&["rate", "holding", "target", "iota", "placement", "seed"])?;
+    let rate = parsed.get_or("rate", 100.0f64)?;
+    let holding = parsed.get_or("holding", 5.0f64)?;
+    let target_pct = parsed.get_or("target", 2.0f64)?;
+    if !(0.0 < target_pct && target_pct <= 100.0) {
+        return Err(ArgError("--target must be a percentage in (0, 100]".into()));
+    }
+    let scenario = scenario_from(parsed)?;
+    let model = TrunkModel::estimate(&scenario, 400, parsed.get_or("seed", 42u64)?)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let offered = rate * holding;
+    let blocking = model.predicted_blocking(rate, holding);
+    let needed = dmra_sim::erlang::servers_for_blocking(offered, target_pct / 100.0);
+    Ok(format!(
+        "trunk model:        {} effective servers ({:.2} RRBs/task)
+         offered load:       {offered:.1} erlang
+         predicted blocking: {:.2}%
+         servers needed for {target_pct}% blocking: {needed}
+",
+        model.servers,
+        model.mean_rrbs_per_task,
+        blocking * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, ArgError> {
+        dispatch(&ParsedArgs::parse(args.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let text = help_text();
+        for cmd in ["run", "sweep", "protocol", "dynamic"] {
+            assert!(text.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn run_command_produces_metric_table() {
+        let text = run(&["run", "--ues", "80", "--algo", "dmra"]).unwrap();
+        assert!(text.contains("DMRA"));
+        assert!(text.contains("profit"));
+    }
+
+    #[test]
+    fn run_rejects_bad_algo_and_placement() {
+        assert!(run(&["run", "--algo", "magic"]).is_err());
+        assert!(run(&["run", "--placement", "orbital"]).is_err());
+    }
+
+    #[test]
+    fn protocol_reports_messages() {
+        let text = run(&["protocol", "--ues", "60", "--drop", "10"]).unwrap();
+        assert!(text.contains("service-request"));
+        assert!(text.contains("dropped"));
+    }
+
+    #[test]
+    fn protocol_rejects_full_loss() {
+        assert!(run(&["protocol", "--drop", "100"]).is_err());
+    }
+
+    #[test]
+    fn dynamic_reports_admissions() {
+        let text = run(&[
+            "dynamic", "--rate", "10", "--epochs", "10", "--holding", "2",
+        ])
+        .unwrap();
+        assert!(text.contains("admitted"));
+        assert!(text.contains("steady-state"));
+    }
+
+    #[test]
+    fn mobility_reports_handovers() {
+        let text = run(&[
+            "mobility", "--ues", "60", "--speed", "15", "--epochs", "6",
+        ])
+        .unwrap();
+        assert!(text.contains("handover rate"));
+    }
+
+    #[test]
+    fn plan_reports_blocking() {
+        let text = run(&["plan", "--rate", "200", "--holding", "5"]).unwrap();
+        assert!(text.contains("predicted blocking"));
+        assert!(text.contains("erlang"));
+    }
+
+    #[test]
+    fn sweep_emits_csv_when_asked() {
+        // reps 1 and the smallest sweep still goes through all UE counts;
+        // keep it cheap but real.
+        let text = run(&["sweep", "--reps", "1", "--format", "csv"]).unwrap();
+        assert!(text.starts_with("#UEs,DMRA_mean"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let err = run(&["dynamic", "--warp", "9"]).unwrap_err();
+        assert!(err.to_string().contains("--warp"));
+    }
+}

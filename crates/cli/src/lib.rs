@@ -1,0 +1,21 @@
+//! Library half of the `dmra` command-line tool.
+//!
+//! Commands (see `dmra help` for the synopsis):
+//!
+//! * `run` — one scenario, one or all algorithms, metric table to stdout.
+//! * `sweep` — UE-count sweep with replications, markdown/CSV output.
+//! * `protocol` — decentralized execution with message statistics and
+//!   optional loss injection.
+//! * `dynamic` — the online arrival/departure regime.
+//!
+//! Everything is a thin shim over `dmra-sim`; keeping the logic here (and
+//! unit-tested) leaves `main.rs` as pure I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+mod commands;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{dispatch, help_text};

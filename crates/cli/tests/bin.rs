@@ -1,0 +1,51 @@
+//! End-to-end tests of the compiled `dmra` binary.
+
+use std::process::Command;
+
+fn dmra(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dmra"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = dmra(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("protocol"));
+}
+
+#[test]
+fn run_command_end_to_end() {
+    let out = dmra(&["run", "--ues", "80", "--algo", "dmra", "--seed", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DMRA"));
+    assert!(text.contains("25 BSs"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_message() {
+    let out = dmra(&["explode"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn bad_option_value_exits_nonzero() {
+    let out = dmra(&["run", "--ues", "many"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse"));
+}
+
+#[test]
+fn run_is_reproducible_across_invocations() {
+    let a = dmra(&["run", "--ues", "60", "--seed", "9"]);
+    let b = dmra(&["run", "--ues", "60", "--seed", "9"]);
+    assert_eq!(a.stdout, b.stdout);
+}

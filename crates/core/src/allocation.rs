@@ -1,0 +1,294 @@
+//! The allocation output `a_{u,i}` and its constraint checker.
+
+use crate::instance::ProblemInstance;
+use dmra_types::{BsId, Cru, Error, Result, RrbCount, UeId};
+use serde::{Deserialize, Serialize};
+
+/// A complete assignment of UEs to BSs (or to the remote cloud).
+///
+/// `assigned[u] = Some(i)` encodes `a_{u,i} = 1`; `None` means the task was
+/// forwarded to the remote cloud. Constraint (15) — at most one BS per UE —
+/// is structural: the representation cannot express anything else.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    assigned: Vec<Option<BsId>>,
+}
+
+impl Allocation {
+    /// An allocation with every UE forwarded to the cloud.
+    #[must_use]
+    pub fn all_cloud(n_ues: usize) -> Self {
+        Self {
+            assigned: vec![None; n_ues],
+        }
+    }
+
+    /// Builds an allocation from an explicit per-UE assignment vector.
+    #[must_use]
+    pub fn from_assignments(assigned: Vec<Option<BsId>>) -> Self {
+        Self { assigned }
+    }
+
+    /// Number of UEs this allocation covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Returns `true` if the allocation covers no UEs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+
+    /// The BS serving `ue`, or `None` if the task went to the cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ue` is out of range for this allocation.
+    #[must_use]
+    pub fn bs_of(&self, ue: UeId) -> Option<BsId> {
+        self.assigned[ue.as_usize()]
+    }
+
+    /// Assigns `ue` to `bs` (used by allocator implementations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ue` is out of range.
+    pub fn assign(&mut self, ue: UeId, bs: BsId) {
+        self.assigned[ue.as_usize()] = Some(bs);
+    }
+
+    /// Iterates over `(ue, bs)` pairs for edge-served UEs.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = (UeId, BsId)> + '_ {
+        self.assigned
+            .iter()
+            .enumerate()
+            .filter_map(|(u, bs)| bs.map(|b| (UeId::new(u as u32), b)))
+    }
+
+    /// Iterates over cloud-forwarded UEs.
+    pub fn cloud_ues(&self) -> impl Iterator<Item = UeId> + '_ {
+        self.assigned
+            .iter()
+            .enumerate()
+            .filter(|(_, bs)| bs.is_none())
+            .map(|(u, _)| UeId::new(u as u32))
+    }
+
+    /// Number of UEs served at the edge.
+    #[must_use]
+    pub fn edge_served(&self) -> usize {
+        self.assigned.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Checks every constraint of the TPM problem (Definition 1) against an
+    /// instance:
+    ///
+    /// * (12) per-service CRU budgets are respected at every BS,
+    /// * (13) every assignment uses a candidate link (service hosted and in
+    ///   coverage),
+    /// * (14) per-BS RRB budgets are respected,
+    /// * (15) structural (one BS per UE),
+    /// * (16) was validated at instance construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] describing the first violated
+    /// constraint, or [`Error::UnknownUe`] on a length mismatch.
+    pub fn validate(&self, instance: &ProblemInstance) -> Result<()> {
+        if self.assigned.len() != instance.n_ues() {
+            return Err(Error::UnknownUe(UeId::new(self.assigned.len() as u32)));
+        }
+        let n_bss = instance.n_bss();
+        let n_svcs = instance.catalog().len() as usize;
+        let mut cru_used = vec![vec![Cru::ZERO; n_svcs]; n_bss];
+        let mut rrb_used = vec![RrbCount::ZERO; n_bss];
+        for (ue_id, bs_id) in self.edge_pairs() {
+            if bs_id.as_usize() >= n_bss {
+                return Err(Error::UnknownBs(bs_id));
+            }
+            let ue = &instance.ues()[ue_id.as_usize()];
+            let Some(link) = instance.link(ue_id, bs_id) else {
+                return Err(Error::InvalidConfig(format!(
+                    "constraint (13): {ue_id} assigned to {bs_id}, which is not a candidate"
+                )));
+            };
+            cru_used[bs_id.as_usize()][ue.service.as_usize()] += ue.cru_demand;
+            rrb_used[bs_id.as_usize()] += link.n_rrbs;
+        }
+        for bs in instance.bss() {
+            let i = bs.id.as_usize();
+            for svc in instance.catalog().iter() {
+                let used = cru_used[i][svc.as_usize()];
+                let budget = bs.cru_budget_for(svc);
+                if used > budget {
+                    return Err(Error::InvalidConfig(format!(
+                        "constraint (12): {} uses {used} of {svc} but budget is {budget}",
+                        bs.id
+                    )));
+                }
+            }
+            if rrb_used[i] > bs.rrb_budget {
+                return Err(Error::InvalidConfig(format!(
+                    "constraint (14): {} uses {} but budget is {}",
+                    bs.id, rrb_used[i], bs.rrb_budget
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics of this allocation under an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation uses non-candidate links; validate first.
+    #[must_use]
+    pub fn stats(&self, instance: &ProblemInstance) -> AllocationStats {
+        let mut same_sp = 0usize;
+        let mut rrbs_used = RrbCount::ZERO;
+        for (ue_id, bs_id) in self.edge_pairs() {
+            let link = instance
+                .link(ue_id, bs_id)
+                .expect("allocation must use candidate links");
+            if link.same_sp {
+                same_sp += 1;
+            }
+            rrbs_used += link.n_rrbs;
+        }
+        AllocationStats {
+            n_ues: self.len(),
+            edge_served: self.edge_served(),
+            cloud_forwarded: self.len() - self.edge_served(),
+            same_sp_served: same_sp,
+            rrbs_used,
+        }
+    }
+}
+
+/// Headline numbers describing one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationStats {
+    /// Total UEs in the batch.
+    pub n_ues: usize,
+    /// UEs served by a BS.
+    pub edge_served: usize,
+    /// UEs forwarded to the remote cloud.
+    pub cloud_forwarded: usize,
+    /// Edge-served UEs attached to a BS of their own SP.
+    pub same_sp_served: usize,
+    /// Total RRBs consumed across BSs.
+    pub rrbs_used: RrbCount,
+}
+
+impl AllocationStats {
+    /// Fraction of UEs served at the edge.
+    #[must_use]
+    pub fn edge_fraction(&self) -> f64 {
+        if self.n_ues == 0 {
+            return 0.0;
+        }
+        self.edge_served as f64 / self.n_ues as f64
+    }
+
+    /// Fraction of edge-served UEs attached to their own SP's BSs.
+    #[must_use]
+    pub fn same_sp_fraction(&self) -> f64 {
+        if self.edge_served == 0 {
+            return 0.0;
+        }
+        self.same_sp_served as f64 / self.edge_served as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::two_sp_instance;
+
+    #[test]
+    fn all_cloud_is_valid_and_empty() {
+        let inst = two_sp_instance();
+        let alloc = Allocation::all_cloud(inst.n_ues());
+        alloc.validate(&inst).unwrap();
+        assert_eq!(alloc.edge_served(), 0);
+        assert_eq!(alloc.cloud_ues().count(), 2);
+        assert_eq!(inst.total_profit(&alloc).get(), 0.0);
+    }
+
+    #[test]
+    fn assigning_candidate_links_validates() {
+        let inst = two_sp_instance();
+        let mut alloc = Allocation::all_cloud(inst.n_ues());
+        alloc.assign(UeId::new(0), BsId::new(0));
+        alloc.assign(UeId::new(1), BsId::new(0));
+        alloc.validate(&inst).unwrap();
+        assert_eq!(alloc.edge_served(), 2);
+        let stats = alloc.stats(&inst);
+        assert_eq!(stats.same_sp_served, 1); // UE0 is sp0 on a sp0 BS.
+        assert!((stats.same_sp_fraction() - 0.5).abs() < 1e-12);
+        assert!(stats.rrbs_used.get() > 0);
+    }
+
+    #[test]
+    fn non_candidate_assignment_is_rejected() {
+        let inst = two_sp_instance();
+        let mut alloc = Allocation::all_cloud(inst.n_ues());
+        // UE 1 requests service 1, which bs1 does not host.
+        alloc.assign(UeId::new(1), BsId::new(1));
+        let err = alloc.validate(&inst).unwrap_err();
+        assert!(err.to_string().contains("constraint (13)"), "{err}");
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let inst = two_sp_instance();
+        let alloc = Allocation::all_cloud(5);
+        assert!(alloc.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn profit_prefers_same_sp_assignment() {
+        let inst = two_sp_instance();
+        let mut own = Allocation::all_cloud(inst.n_ues());
+        own.assign(UeId::new(0), BsId::new(0)); // same SP, nearer
+        let mut cross = Allocation::all_cloud(inst.n_ues());
+        cross.assign(UeId::new(0), BsId::new(1)); // other SP, farther
+        assert!(inst.total_profit(&own) > inst.total_profit(&cross));
+    }
+
+    #[test]
+    fn forwarded_load_counts_cloud_demand() {
+        let inst = two_sp_instance();
+        let alloc = Allocation::all_cloud(inst.n_ues());
+        // 3 + 2 Mbit/s.
+        assert!((inst.forwarded_load(&alloc).to_mbps() - 5.0).abs() < 1e-9);
+        let mut partial = Allocation::all_cloud(inst.n_ues());
+        partial.assign(UeId::new(0), BsId::new(0));
+        assert!((inst.forwarded_load(&partial).to_mbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_pairs_roundtrip() {
+        let inst = two_sp_instance();
+        let mut alloc = Allocation::all_cloud(inst.n_ues());
+        alloc.assign(UeId::new(1), BsId::new(0));
+        let pairs: Vec<_> = alloc.edge_pairs().collect();
+        assert_eq!(pairs, vec![(UeId::new(1), BsId::new(0))]);
+    }
+
+    #[test]
+    fn remaining_resources_reflect_assignment() {
+        let inst = two_sp_instance();
+        let mut alloc = Allocation::all_cloud(inst.n_ues());
+        alloc.assign(UeId::new(0), BsId::new(0));
+        let rem_cru = inst.remaining_cru(&alloc);
+        assert_eq!(rem_cru[0][0], Cru::new(96)); // 100 − 4
+        assert_eq!(rem_cru[1][0], Cru::new(100));
+        let rem_rrb = inst.remaining_rrbs(&alloc);
+        let n = inst.link(UeId::new(0), BsId::new(0)).unwrap().n_rrbs;
+        assert_eq!(rem_rrb[0], RrbCount::new(55) - n);
+    }
+}

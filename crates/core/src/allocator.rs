@@ -1,0 +1,44 @@
+//! The strategy interface shared by DMRA and every baseline.
+
+use crate::allocation::Allocation;
+use crate::instance::ProblemInstance;
+
+/// An algorithm that assigns a batch of UEs to BSs (or the cloud).
+///
+/// The trait is object-safe so sweeps can iterate over
+/// `Vec<Box<dyn Allocator>>`; implementations must be deterministic given
+/// their own configuration (randomized baselines carry an explicit seed).
+///
+/// Implementations must return allocations that pass
+/// [`Allocation::validate`] on the same instance — the test suites of
+/// `dmra-core` and `dmra-baselines` enforce this for every algorithm.
+pub trait Allocator {
+    /// A short human-readable name ("DMRA", "DCSP", "NonCo", …) used in
+    /// figure legends and reports.
+    fn name(&self) -> &str;
+
+    /// Computes an assignment for the instance.
+    fn allocate(&self, instance: &ProblemInstance) -> Allocation;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CloudEverything;
+
+    impl Allocator for CloudEverything {
+        fn name(&self) -> &str {
+            "cloud-everything"
+        }
+        fn allocate(&self, instance: &ProblemInstance) -> Allocation {
+            Allocation::all_cloud(instance.n_ues())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Allocator> = Box::new(CloudEverything);
+        assert_eq!(boxed.name(), "cloud-everything");
+    }
+}

@@ -1,0 +1,540 @@
+//! Algorithm 1 of the paper — Decentralized Multi-SP Resource Allocation —
+//! in its fast centralized-state execution.
+//!
+//! The implementation follows the paper line by line:
+//!
+//! * **UE side (lines 3–10).** Every unserved UE picks the candidate BS
+//!   minimising `v_{u,i} = p_{i,u} + ρ / (remaining CRUs + remaining RRBs)`
+//!   (Eq. (17)); candidates that can no longer fit the UE's CRU or RRB
+//!   demand are pruned permanently (resources never grow). A UE whose
+//!   candidate set empties is forwarded to the remote cloud.
+//! * **BS side (lines 11–21).** Per requested service, the BS prefers
+//!   same-SP proposers, tie-breaking by the smallest `f_u` (how many BSs
+//!   could serve the UE) and then by the smallest combined footprint
+//!   `n_{u,i} + c_j^u` — one provisional winner per (BS, service).
+//! * **Radio admission (lines 22–25).** If the round's winners exceed the
+//!   BS's remaining RRBs, the least-preferred winners are removed one by
+//!   one until the rest fit.
+//! * **Termination.** The loop ends at the first iteration with no
+//!   proposals. Every BS that receives proposals accepts at least one UE
+//!   per iteration (each proposal is individually feasible, so the
+//!   admission step never drops *all* winners), hence the algorithm
+//!   terminates after at most `|U| + 1` iterations.
+//!
+//! The genuinely message-passing execution of the same protocol lives in
+//! [`crate::agents`]; under reliable delivery it produces bit-identical
+//! allocations (see `tests/` at the workspace root).
+
+use crate::allocation::Allocation;
+use crate::allocator::Allocator;
+use crate::instance::{CandidateLink, ProblemInstance};
+use dmra_types::{BsId, Cru, Error, Result, RrbCount, UeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tunables of the DMRA matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmraConfig {
+    /// `ρ` in Eq. (17): how strongly UEs prefer resource-rich BSs over
+    /// cheap BSs. Figs. 6–7 sweep this knob.
+    pub rho: f64,
+    /// Safety bound on matching iterations. The algorithm provably
+    /// terminates in at most `|U| + 1` iterations, so hitting this bound
+    /// signals a bug rather than a big instance.
+    pub max_iterations: usize,
+    /// Whether the BS side prefers same-SP proposers (line 13 of
+    /// Algorithm 1). Disabling this is the multi-SP ablation — it is *the*
+    /// ingredient that separates DMRA from SP-oblivious matching.
+    pub same_sp_preference: bool,
+}
+
+impl DmraConfig {
+    /// Defaults used for Figs. 2–5: `ρ = 100`, same-SP preference on.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            rho: 100.0,
+            max_iterations: 100_000,
+            same_sp_preference: true,
+        }
+    }
+
+    /// Returns a copy with a different `ρ`.
+    #[must_use]
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+}
+
+impl Default for DmraConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// The result of a DMRA run, with convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmraOutcome {
+    /// The computed assignment.
+    pub allocation: Allocation,
+    /// Matching iterations executed (including the final silent one).
+    pub iterations: usize,
+    /// Total UE→BS proposals sent across iterations.
+    pub proposals: u64,
+    /// UEs accepted in each iteration — the convergence timeline (sums to
+    /// the number of edge-served UEs; the final silent iteration accepts
+    /// nobody and is omitted).
+    pub acceptances: Vec<usize>,
+}
+
+/// The DMRA allocator (Algorithm 1, centralized-state execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dmra {
+    config: DmraConfig,
+}
+
+impl Dmra {
+    /// Creates a DMRA matcher with the given configuration.
+    #[must_use]
+    pub fn new(config: DmraConfig) -> Self {
+        Self { config }
+    }
+
+    /// The matcher's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DmraConfig {
+        &self.config
+    }
+
+    /// Runs the matching to quiescence, returning convergence diagnostics
+    /// alongside the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonTermination`] if `max_iterations` elapses — this
+    /// indicates a bug, as the algorithm provably terminates.
+    pub fn solve(&self, instance: &ProblemInstance) -> Result<DmraOutcome> {
+        let n_ues = instance.n_ues();
+        let mut state = MatchState::new(instance);
+        // Each UE's live candidate set, pruned monotonically.
+        let mut b_u: Vec<Vec<CandidateLink>> = (0..n_ues)
+            .map(|u| instance.candidates(UeId::new(u as u32)).to_vec())
+            .collect();
+        let mut assigned: Vec<Option<BsId>> = vec![None; n_ues];
+        let mut cloud: Vec<bool> = vec![false; n_ues];
+        let mut proposals_total = 0u64;
+        let mut acceptances: Vec<usize> = Vec::new();
+
+        for iteration in 1..=self.config.max_iterations {
+            // ---- UE side: lines 3–10 ----
+            // proposals[bs] maps service → proposing UEs.
+            let mut proposals: BTreeMap<u32, BTreeMap<u32, Vec<UeId>>> = BTreeMap::new();
+            let mut any = false;
+            for u in 0..n_ues {
+                if assigned[u].is_some() || cloud[u] {
+                    continue;
+                }
+                let ue = UeId::new(u as u32);
+                let svc = instance.ues()[u].service;
+                loop {
+                    if b_u[u].is_empty() {
+                        // Line 1 / fallthrough of lines 4–10: no BS can
+                        // serve this UE; forward to the remote cloud.
+                        cloud[u] = true;
+                        break;
+                    }
+                    let best = select_ue_proposal(
+                        self.config.rho,
+                        svc.as_usize(),
+                        &b_u[u],
+                        &state,
+                    )
+                    .expect("candidate set is non-empty");
+                    let link = b_u[u][best];
+                    if state.fits(instance, ue, &link) {
+                        proposals
+                            .entry(link.bs.index())
+                            .or_default()
+                            .entry(svc.index())
+                            .or_default()
+                            .push(ue);
+                        proposals_total += 1;
+                        any = true;
+                        break;
+                    }
+                    // Line 10: the BS can never serve this UE again.
+                    b_u[u].remove(best);
+                }
+            }
+            if !any {
+                return Ok(DmraOutcome {
+                    allocation: Allocation::from_assignments(assigned),
+                    iterations: iteration,
+                    proposals: proposals_total,
+                    acceptances,
+                });
+            }
+
+            // ---- BS side: lines 11–25 ----
+            let mut accepted_this_iteration = 0usize;
+            for (bs_idx, per_service) in proposals {
+                let bs = BsId::new(bs_idx);
+                let mut winners: Vec<UeId> = Vec::new();
+                for (_svc, candidates) in per_service {
+                    let winner = select_bs_winner(
+                        instance,
+                        bs,
+                        &candidates,
+                        self.config.same_sp_preference,
+                    );
+                    winners.push(winner);
+                }
+                // Radio admission: lines 22–25. Remove least-preferred
+                // winners until the batch fits the remaining RRBs.
+                let demand = |u: UeId| instance.link(u, bs).expect("winner is candidate").n_rrbs;
+                let mut total: RrbCount = winners.iter().map(|&u| demand(u)).sum();
+                if total > state.rem_rrb[bs.as_usize()] {
+                    // Ascending preference = worst first.
+                    winners.sort_by_key(|&u| {
+                        std::cmp::Reverse(bs_preference_key(
+                            instance,
+                            bs,
+                            u,
+                            self.config.same_sp_preference,
+                        ))
+                    });
+                    while total > state.rem_rrb[bs.as_usize()] {
+                        let dropped = winners.pop().expect("winners cannot empty before fitting");
+                        total -= demand(dropped);
+                    }
+                }
+                for u in winners {
+                    let link = *instance.link(u, bs).expect("winner is candidate");
+                    state.commit(instance, u, &link);
+                    assigned[u.as_usize()] = Some(bs);
+                    accepted_this_iteration += 1;
+                }
+            }
+            acceptances.push(accepted_this_iteration);
+        }
+        Err(Error::NonTermination {
+            bound: self.config.max_iterations,
+        })
+    }
+}
+
+impl Allocator for Dmra {
+    fn name(&self) -> &str {
+        "DMRA"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the iteration bound is exhausted, which would indicate a
+    /// bug in the matcher (the algorithm provably terminates).
+    fn allocate(&self, instance: &ProblemInstance) -> Allocation {
+        self.solve(instance)
+            .expect("DMRA terminates within its iteration bound")
+            .allocation
+    }
+}
+
+/// Mutable per-BS resource state shared by the matcher phases.
+#[derive(Debug, Clone)]
+pub(crate) struct MatchState {
+    /// Remaining CRUs, indexed `[bs][service]`.
+    pub(crate) rem_cru: Vec<Vec<Cru>>,
+    /// Remaining RRBs, indexed by BS.
+    pub(crate) rem_rrb: Vec<RrbCount>,
+}
+
+impl MatchState {
+    pub(crate) fn new(instance: &ProblemInstance) -> Self {
+        Self {
+            rem_cru: instance.bss().iter().map(|b| b.cru_budget.clone()).collect(),
+            rem_rrb: instance.bss().iter().map(|b| b.rrb_budget).collect(),
+        }
+    }
+
+    /// Line 6 of Algorithm 1: can this BS still fit this UE?
+    pub(crate) fn fits(
+        &self,
+        instance: &ProblemInstance,
+        ue: UeId,
+        link: &CandidateLink,
+    ) -> bool {
+        let i = link.bs.as_usize();
+        let ue_spec = &instance.ues()[ue.as_usize()];
+        self.rem_cru[i][ue_spec.service.as_usize()] >= ue_spec.cru_demand
+            && self.rem_rrb[i] >= link.n_rrbs
+    }
+
+    /// Deducts the UE's demands from the BS.
+    pub(crate) fn commit(
+        &mut self,
+        instance: &ProblemInstance,
+        ue: UeId,
+        link: &CandidateLink,
+    ) {
+        let i = link.bs.as_usize();
+        let ue_spec = &instance.ues()[ue.as_usize()];
+        self.rem_cru[i][ue_spec.service.as_usize()] -= ue_spec.cru_demand;
+        self.rem_rrb[i] -= link.n_rrbs;
+    }
+}
+
+/// Eq. (17): the UE's preference value for a candidate link given the
+/// current remaining resources. Lower is better. A fully-drained BS scores
+/// `+∞` (it will fail the feasibility check and be pruned).
+pub(crate) fn ue_preference(
+    rho: f64,
+    link: &CandidateLink,
+    rem_cru: Cru,
+    rem_rrb: RrbCount,
+) -> f64 {
+    let denom = rem_cru.as_f64() + rem_rrb.as_f64();
+    if denom <= 0.0 {
+        return f64::INFINITY;
+    }
+    link.price.get() + rho / denom
+}
+
+/// Picks the index of the candidate with minimal `v_{u,i}` (line 5),
+/// tie-breaking by BS id for determinism. Returns `None` for an empty set.
+///
+/// `service_idx` is the index of the *UE's* requested service — Eq. (17)
+/// reads the remaining CRUs of that service at each candidate BS.
+pub(crate) fn select_ue_proposal(
+    rho: f64,
+    service_idx: usize,
+    candidates: &[CandidateLink],
+    state: &MatchState,
+) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(idx, link)| {
+            let i = link.bs.as_usize();
+            let v = ue_preference(rho, link, state.rem_cru[i][service_idx], state.rem_rrb[i]);
+            (idx, v, link.bs)
+        })
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.2.cmp(&b.2))
+        })
+        .map(|(idx, _, _)| idx)
+}
+
+/// Line 13–21: picks the winning proposer for one (BS, service) pair.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub(crate) fn select_bs_winner(
+    instance: &ProblemInstance,
+    bs: BsId,
+    candidates: &[UeId],
+    same_sp_preference: bool,
+) -> UeId {
+    *candidates
+        .iter()
+        .min_by_key(|&&u| {
+            std::cmp::Reverse(bs_preference_key(instance, bs, u, same_sp_preference))
+        })
+        .expect("candidate set must be non-empty")
+}
+
+/// The BS's preference for a UE, as a key where **larger is better** (use
+/// with `Reverse` for min-by selection of the best).
+///
+/// Order: same-SP first (if enabled), then smaller `f_u`, then smaller
+/// footprint `n_{u,i} + c_j^u`, then smaller UE id.
+pub(crate) fn bs_preference_key(
+    instance: &ProblemInstance,
+    bs: BsId,
+    ue: UeId,
+    same_sp_preference: bool,
+) -> (bool, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>) {
+    let link = instance.link(ue, bs).expect("proposer must be a candidate");
+    let footprint = link.n_rrbs.get() + instance.ues()[ue.as_usize()].cru_demand.get();
+    (
+        same_sp_preference && link.same_sp,
+        std::cmp::Reverse(instance.f_u(ue)),
+        std::cmp::Reverse(footprint),
+        std::cmp::Reverse(ue.index()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::two_sp_instance;
+    use crate::instance::{CoverageModel, ProblemInstance};
+    use dmra_econ::PricingConfig;
+    use dmra_radio::RadioConfig;
+    use dmra_types::{
+        BitsPerSec, BsSpec, Cru, Dbm, Hertz, Money, Point, ServiceCatalog, ServiceId, SpId,
+        SpSpec, UeSpec,
+    };
+
+    #[test]
+    fn dmra_serves_both_ues_on_tiny_instance() {
+        let inst = two_sp_instance();
+        let out = Dmra::default().solve(&inst).unwrap();
+        out.allocation.validate(&inst).unwrap();
+        assert_eq!(out.allocation.edge_served(), 2);
+        assert!(out.iterations <= 3, "iterations = {}", out.iterations);
+        assert!(out.proposals >= 2);
+    }
+
+    #[test]
+    fn allocator_name_is_dmra() {
+        assert_eq!(Dmra::default().name(), "DMRA");
+    }
+
+    /// A scenario engineered so the same-SP preference matters: two UEs of
+    /// different SPs compete for the last slot of a BS.
+    fn contested_instance(rrb_budget: u32) -> ProblemInstance {
+        let sps = vec![
+            SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0)),
+            SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0)),
+        ];
+        let catalog = ServiceCatalog::new(1);
+        let bss = vec![BsSpec::new(
+            dmra_types::BsId::new(0),
+            SpId::new(0),
+            Point::new(0.0, 0.0),
+            vec![Cru::new(100)],
+            Hertz::from_mhz(10.0),
+            dmra_types::RrbCount::new(rrb_budget),
+        )];
+        // Both UEs equidistant, same demand; ue0 subscribes to sp1 (cross),
+        // ue1 subscribes to sp0 (same as the BS).
+        let mk_ue = |id: u32, sp: u32| {
+            UeSpec::new(
+                dmra_types::UeId::new(id),
+                SpId::new(sp),
+                Point::new(100.0, 0.0),
+                ServiceId::new(0),
+                Cru::new(4),
+                BitsPerSec::from_mbps(3.0),
+                Dbm::new(10.0),
+            )
+        };
+        let ues = vec![mk_ue(0, 1), mk_ue(1, 0)];
+        ProblemInstance::build(
+            sps,
+            bss,
+            ues,
+            catalog,
+            PricingConfig::paper_defaults(),
+            RadioConfig::paper_defaults(),
+            CoverageModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_sp_proposer_wins_the_contested_slot() {
+        // Each UE needs 1 RRB at 100 m; a budget of 1 fits exactly one.
+        let inst = contested_instance(1);
+        let out = Dmra::default().solve(&inst).unwrap();
+        out.allocation.validate(&inst).unwrap();
+        // The same-SP UE (ue1) must win; ue0 goes to the cloud.
+        assert_eq!(
+            out.allocation.bs_of(dmra_types::UeId::new(1)),
+            Some(dmra_types::BsId::new(0))
+        );
+        assert_eq!(out.allocation.bs_of(dmra_types::UeId::new(0)), None);
+    }
+
+    #[test]
+    fn ablation_without_same_sp_preference_changes_winner() {
+        let inst = contested_instance(1);
+        let cfg = DmraConfig {
+            same_sp_preference: false,
+            ..DmraConfig::paper_defaults()
+        };
+        let out = Dmra::new(cfg).solve(&inst).unwrap();
+        // Without the SP term the tie-break falls through to f_u (equal),
+        // footprint (equal), then smallest UE id: ue0 wins.
+        assert_eq!(
+            out.allocation.bs_of(dmra_types::UeId::new(0)),
+            Some(dmra_types::BsId::new(0))
+        );
+    }
+
+    #[test]
+    fn both_served_when_budget_allows() {
+        let inst = contested_instance(55);
+        let out = Dmra::default().solve(&inst).unwrap();
+        assert_eq!(out.allocation.edge_served(), 2);
+    }
+
+    #[test]
+    fn no_candidates_means_cloud() {
+        // A BS with zero RRBs can never serve anyone.
+        let inst = contested_instance(0);
+        let out = Dmra::default().solve(&inst).unwrap();
+        assert_eq!(out.allocation.edge_served(), 0);
+        assert_eq!(out.allocation.cloud_ues().count(), 2);
+    }
+
+    #[test]
+    fn ue_preference_formula_matches_eq17() {
+        let inst = two_sp_instance();
+        let link = inst.link(dmra_types::UeId::new(0), dmra_types::BsId::new(0)).unwrap();
+        let v = ue_preference(100.0, link, Cru::new(50), dmra_types::RrbCount::new(50));
+        assert!((v - (link.price.get() + 1.0)).abs() < 1e-12);
+        // Drained BS is infinitely unattractive.
+        let v = ue_preference(100.0, link, Cru::ZERO, dmra_types::RrbCount::ZERO);
+        assert!(v.is_infinite());
+        // rho = 0 reduces to pure price preference.
+        let v = ue_preference(0.0, link, Cru::new(1), dmra_types::RrbCount::new(1));
+        assert!((v - link.price.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_rho_prefers_resource_rich_bs() {
+        let inst = two_sp_instance();
+        let state_rich = MatchState {
+            rem_cru: vec![vec![Cru::new(100); 2], vec![Cru::new(10); 2]],
+            rem_rrb: vec![dmra_types::RrbCount::new(55), dmra_types::RrbCount::new(5)],
+        };
+        let cands = inst.candidates(dmra_types::UeId::new(0)).to_vec();
+        // With rho = 0 the cheaper (same-SP, nearer) bs0 wins anyway here,
+        // so flip the test: make bs1 cheaper by checking preference values
+        // directly instead.
+        let v0_low = ue_preference(0.0, &cands[0], Cru::new(100), dmra_types::RrbCount::new(55));
+        let v0_high =
+            ue_preference(1000.0, &cands[0], Cru::new(100), dmra_types::RrbCount::new(55));
+        let v1_high =
+            ue_preference(1000.0, &cands[1], Cru::new(10), dmra_types::RrbCount::new(5));
+        assert!(v0_high > v0_low, "rho adds a positive term");
+        // The resource-poor BS is penalised much harder at high rho.
+        assert!(v1_high - cands[1].price.get() > v0_high - cands[0].price.get());
+        let _ = state_rich;
+    }
+
+    #[test]
+    fn iteration_count_is_bounded_by_ues_plus_one() {
+        let inst = two_sp_instance();
+        let out = Dmra::default().solve(&inst).unwrap();
+        assert!(out.iterations <= inst.n_ues() + 1);
+    }
+
+    #[test]
+    fn acceptance_timeline_sums_to_served() {
+        let inst = two_sp_instance();
+        let out = Dmra::default().solve(&inst).unwrap();
+        let total: usize = out.acceptances.iter().sum();
+        assert_eq!(total, out.allocation.edge_served());
+        // The timeline covers every non-silent iteration.
+        assert_eq!(out.acceptances.len() + 1, out.iterations);
+        // Every BS with proposals accepts at least one UE per iteration
+        // (the termination argument), so no zero entries appear.
+        assert!(out.acceptances.iter().all(|&a| a > 0));
+    }
+}

@@ -1,0 +1,710 @@
+//! The validated, immutable problem input.
+
+use dmra_econ::{PricingConfig, ProfitLedger, ProfitReport};
+use dmra_radio::{InterferenceModel, LinkEvaluator, RadioConfig};
+use dmra_types::{
+    BitsPerSec, BsId, BsSpec, Cru, Error, Meters, Money, Result, RrbCount, ServiceCatalog,
+    SpSpec, UeId, UeSpec,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::Allocation;
+
+/// When is a UE "covered" by a BS?
+///
+/// The paper assumes a coverage relation (`B_u` is "the set of BSs which
+/// can cover UE u") but never quantifies it; both readings below produce
+/// the densely-overlapped multi-BS coverage the evaluation relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoverageModel {
+    /// In coverage iff the UE–BS distance is at most the radius.
+    FixedRadius(Meters),
+    /// In coverage iff the link sustains at least this per-RRB rate —
+    /// equivalently an SINR threshold, expressed in rate units.
+    MinPerRrbRate(BitsPerSec),
+}
+
+impl Default for CoverageModel {
+    /// 300 m — matched to the paper's 300 m inter-site distance, the usual
+    /// coverage scale of a dense small-cell grid. UEs then see 1–4 BSs of
+    /// mixed SPs with near-uniform per-RRB rates across candidates, which
+    /// is the regime in which the paper's Fig. 6/7 claims about the ρ knob
+    /// hold (see the `coverage_study` example and EXPERIMENTS.md).
+    fn default() -> Self {
+        CoverageModel::FixedRadius(Meters::new(300.0))
+    }
+}
+
+/// One feasible UE–BS pairing with everything the matchers need to know.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateLink {
+    /// The candidate BS.
+    pub bs: BsId,
+    /// `d_{i,u}`.
+    pub distance: Meters,
+    /// `λ_{u,i}` (linear).
+    pub sinr_linear: f64,
+    /// `e_{u,i}`: per-RRB rate (Eq. (2)).
+    pub per_rrb_rate: BitsPerSec,
+    /// `n_{u,i}`: RRBs this UE would consume at this BS (Eq. (3)).
+    pub n_rrbs: RrbCount,
+    /// `p_{i,u}`: the per-CRU price this BS charges this UE (Eqs. (9)–(10)).
+    pub price: Money,
+    /// Whether UE and BS belong to the same SP.
+    pub same_sp: bool,
+}
+
+/// An immutable, validated snapshot of one batch of offloading requests.
+///
+/// Construction precomputes, for every UE, the candidate set `B_u`: the BSs
+/// that cover it, host its requested service, and can physically carry its
+/// demand (`n_{u,i} ≤ N_i`). All allocators run on these identical inputs.
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    sps: Vec<SpSpec>,
+    bss: Vec<BsSpec>,
+    ues: Vec<UeSpec>,
+    catalog: ServiceCatalog,
+    pricing: PricingConfig,
+    radio: RadioConfig,
+    coverage: CoverageModel,
+    /// `candidates[u]` = the links of UE `u`, sorted by BS id.
+    candidates: Vec<Vec<CandidateLink>>,
+    /// `f_u`: number of candidate BSs of UE `u` (the statistic the BS-side
+    /// tie-break of Algorithm 1 uses).
+    f_u: Vec<u32>,
+    /// `covered_ues[i]` = UEs within coverage of BS `i` that request a
+    /// service it hosts — the broadcast domain of Algorithm 1 line 26.
+    covered_ues: Vec<Vec<UeId>>,
+}
+
+impl ProblemInstance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidConfig`] for non-dense ids, empty entity lists or
+    ///   invalid pricing constants.
+    /// * [`Error::UnknownSp`] / [`Error::UnknownService`] for dangling
+    ///   references.
+    /// * [`Error::UnprofitablePricing`] if constraint (16) fails for some
+    ///   SP at the worst-case candidate distance.
+    pub fn build(
+        sps: Vec<SpSpec>,
+        bss: Vec<BsSpec>,
+        ues: Vec<UeSpec>,
+        catalog: ServiceCatalog,
+        pricing: PricingConfig,
+        radio: RadioConfig,
+        coverage: CoverageModel,
+    ) -> Result<Self> {
+        if sps.is_empty() {
+            return Err(Error::InvalidConfig("need at least one SP".into()));
+        }
+        for (i, sp) in sps.iter().enumerate() {
+            if sp.id.as_usize() != i {
+                return Err(Error::InvalidConfig(format!(
+                    "SP ids must be dense and ordered; found {} at position {i}",
+                    sp.id
+                )));
+            }
+        }
+        for (i, bs) in bss.iter().enumerate() {
+            if bs.id.as_usize() != i {
+                return Err(Error::InvalidConfig(format!(
+                    "BS ids must be dense and ordered; found {} at position {i}",
+                    bs.id
+                )));
+            }
+            if bs.sp.as_usize() >= sps.len() {
+                return Err(Error::UnknownSp(bs.sp));
+            }
+            if bs.cru_budget.len() != catalog.len() as usize {
+                return Err(Error::InvalidConfig(format!(
+                    "{} has {} service budgets but the catalog has {} services",
+                    bs.id,
+                    bs.cru_budget.len(),
+                    catalog.len()
+                )));
+            }
+        }
+        for (i, ue) in ues.iter().enumerate() {
+            if ue.id.as_usize() != i {
+                return Err(Error::InvalidConfig(format!(
+                    "UE ids must be dense and ordered; found {} at position {i}",
+                    ue.id
+                )));
+            }
+            if ue.sp.as_usize() >= sps.len() {
+                return Err(Error::UnknownSp(ue.sp));
+            }
+            if !catalog.contains(ue.service) {
+                return Err(Error::UnknownService(ue.service));
+            }
+        }
+        pricing.validate()?;
+
+        let evaluator = LinkEvaluator::new(radio);
+
+        // Aggregate received power per BS, for the load-proportional
+        // interference model (zero under noise-only).
+        let interference_factor = match radio.interference {
+            InterferenceModel::NoiseOnly => 0.0,
+            InterferenceModel::LoadProportional { factor } => factor,
+        };
+        let total_rx_mw: Vec<f64> = if interference_factor > 0.0 {
+            bss.iter()
+                .map(|bs| {
+                    ues.iter()
+                        .map(|ue| evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position))
+                        .sum()
+                })
+                .collect()
+        } else {
+            vec![0.0; bss.len()]
+        };
+
+        let mut candidates: Vec<Vec<CandidateLink>> = Vec::with_capacity(ues.len());
+        let mut covered_ues: Vec<Vec<UeId>> = vec![Vec::new(); bss.len()];
+        let mut max_candidate_distance = Meters::new(0.0);
+        for ue in &ues {
+            let mut links = Vec::new();
+            for bs in &bss {
+                if !bs.hosts(ue.service) {
+                    continue;
+                }
+                let own_rx =
+                    evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position);
+                let interference_mw = interference_factor
+                    * (total_rx_mw[bs.id.as_usize()] - own_rx).max(0.0);
+                let metrics = evaluator.evaluate_with_interference(
+                    ue.tx_power,
+                    ue.position,
+                    bs.position,
+                    interference_mw,
+                );
+                let in_coverage = match coverage {
+                    CoverageModel::FixedRadius(r) => metrics.distance <= r,
+                    CoverageModel::MinPerRrbRate(min_rate) => {
+                        metrics.per_rrb_rate >= min_rate
+                    }
+                };
+                if !in_coverage {
+                    continue;
+                }
+                let Some(n_rrbs) =
+                    evaluator.rrbs_required(ue.rate_demand, metrics.per_rrb_rate)
+                else {
+                    continue;
+                };
+                // A link that can never fit the BS's total radio budget is
+                // not a candidate (Algorithm 1 would prune it on first try).
+                if n_rrbs > bs.rrb_budget || ue.cru_demand > bs.cru_budget_for(ue.service) {
+                    continue;
+                }
+                let same_sp = ue.sp == bs.sp;
+                let price = pricing.bs_cru_price(same_sp, metrics.distance);
+                if metrics.distance > max_candidate_distance {
+                    max_candidate_distance = metrics.distance;
+                }
+                covered_ues[bs.id.as_usize()].push(ue.id);
+                links.push(CandidateLink {
+                    bs: bs.id,
+                    distance: metrics.distance,
+                    sinr_linear: metrics.sinr_linear,
+                    per_rrb_rate: metrics.per_rrb_rate,
+                    n_rrbs,
+                    price,
+                    same_sp,
+                });
+            }
+            candidates.push(links);
+        }
+
+        // Constraint (16) must hold for every reachable price.
+        pricing.validate_margin(&sps, max_candidate_distance)?;
+
+        let f_u = candidates.iter().map(|c| c.len() as u32).collect();
+        Ok(Self {
+            sps,
+            bss,
+            ues,
+            catalog,
+            pricing,
+            radio,
+            coverage,
+            candidates,
+            f_u,
+            covered_ues,
+        })
+    }
+
+    /// The service providers, ordered by id.
+    #[must_use]
+    pub fn sps(&self) -> &[SpSpec] {
+        &self.sps
+    }
+
+    /// The base stations, ordered by id.
+    #[must_use]
+    pub fn bss(&self) -> &[BsSpec] {
+        &self.bss
+    }
+
+    /// The user equipments, ordered by id.
+    #[must_use]
+    pub fn ues(&self) -> &[UeSpec] {
+        &self.ues
+    }
+
+    /// The service catalog.
+    #[must_use]
+    pub fn catalog(&self) -> ServiceCatalog {
+        self.catalog
+    }
+
+    /// The pricing configuration.
+    #[must_use]
+    pub fn pricing(&self) -> &PricingConfig {
+        &self.pricing
+    }
+
+    /// The radio configuration.
+    #[must_use]
+    pub fn radio(&self) -> &RadioConfig {
+        &self.radio
+    }
+
+    /// The coverage model.
+    #[must_use]
+    pub fn coverage(&self) -> CoverageModel {
+        self.coverage
+    }
+
+    /// `B_u`: the candidate links of UE `u`, sorted by BS id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ue` is not part of this instance.
+    #[must_use]
+    pub fn candidates(&self, ue: UeId) -> &[CandidateLink] {
+        &self.candidates[ue.as_usize()]
+    }
+
+    /// `f_u`: the number of candidate BSs of UE `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ue` is not part of this instance.
+    #[must_use]
+    pub fn f_u(&self, ue: UeId) -> u32 {
+        self.f_u[ue.as_usize()]
+    }
+
+    /// The UEs inside the coverage/broadcast domain of BS `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is not part of this instance.
+    #[must_use]
+    pub fn covered_ues(&self, bs: BsId) -> &[UeId] {
+        &self.covered_ues[bs.as_usize()]
+    }
+
+    /// Looks up the candidate link between `ue` and `bs`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ue` is not part of this instance.
+    #[must_use]
+    pub fn link(&self, ue: UeId, bs: BsId) -> Option<&CandidateLink> {
+        self.candidates[ue.as_usize()]
+            .iter()
+            .find(|l| l.bs == bs)
+    }
+
+    /// Number of UEs.
+    #[must_use]
+    pub fn n_ues(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// Number of BSs.
+    #[must_use]
+    pub fn n_bss(&self) -> usize {
+        self.bss.len()
+    }
+
+    /// Number of SPs.
+    #[must_use]
+    pub fn n_sps(&self) -> usize {
+        self.sps.len()
+    }
+
+    /// Computes the paper's Eqs. (5)–(8) profit report for an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation references UE–BS pairs that are not
+    /// candidate links of this instance (run [`Allocation::validate`]
+    /// first when in doubt).
+    #[must_use]
+    pub fn profit_report(&self, allocation: &Allocation) -> ProfitReport {
+        let mut ledger = ProfitLedger::new(&self.sps);
+        for ue in &self.ues {
+            match allocation.bs_of(ue.id) {
+                Some(bs) => {
+                    let link = self
+                        .link(ue.id, bs)
+                        .expect("allocation must only use candidate links");
+                    ledger.record_edge_service(ue.sp, ue.cru_demand, link.price);
+                }
+                None => ledger.record_cloud_forward(ue.sp),
+            }
+        }
+        ledger.report()
+    }
+
+    /// Total uplink demand (in bit/s) of the UEs the allocation forwards to
+    /// the cloud — the paper's *total forwarded traffic load* (Fig. 7).
+    #[must_use]
+    pub fn forwarded_load(&self, allocation: &Allocation) -> BitsPerSec {
+        self.ues
+            .iter()
+            .filter(|ue| allocation.bs_of(ue.id).is_none())
+            .map(|ue| ue.rate_demand)
+            .sum()
+    }
+
+    /// The TPM objective value `Σ_k W_k` of an allocation.
+    #[must_use]
+    pub fn total_profit(&self, allocation: &Allocation) -> Money {
+        self.profit_report(allocation).total_profit()
+    }
+
+    /// Remaining per-service CRU budgets after an allocation, indexed
+    /// `[bs][service]` — used by tests and by resource-utilization metrics.
+    #[must_use]
+    pub fn remaining_cru(&self, allocation: &Allocation) -> Vec<Vec<Cru>> {
+        let mut rem: Vec<Vec<Cru>> = self.bss.iter().map(|b| b.cru_budget.clone()).collect();
+        for ue in &self.ues {
+            if let Some(bs) = allocation.bs_of(ue.id) {
+                let slot = &mut rem[bs.as_usize()][ue.service.as_usize()];
+                *slot = slot.saturating_sub(ue.cru_demand);
+            }
+        }
+        rem
+    }
+
+    /// Builds a *residual* instance: the same deployment (SPs, catalog,
+    /// pricing, radio, coverage) and BS positions, but with the given
+    /// remaining budgets and a new batch of UEs.
+    ///
+    /// This is the building block of the online regimes (`dmra-sim`'s
+    /// arrival/departure and sticky-mobility simulators): already-admitted
+    /// tasks keep their resources, and each new batch is matched against
+    /// what is left.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProblemInstance::build`] validation errors (including
+    /// budget-vector arity mismatches).
+    pub fn residual(
+        &self,
+        rem_cru: &[Vec<Cru>],
+        rem_rrb: &[RrbCount],
+        ues: Vec<UeSpec>,
+    ) -> Result<ProblemInstance> {
+        if rem_cru.len() != self.bss.len() || rem_rrb.len() != self.bss.len() {
+            return Err(Error::InvalidConfig(format!(
+                "residual budgets cover {} / {} BSs but the instance has {}",
+                rem_cru.len(),
+                rem_rrb.len(),
+                self.bss.len()
+            )));
+        }
+        let bss: Vec<BsSpec> = self
+            .bss
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mut spec = b.clone();
+                spec.cru_budget = rem_cru[i].clone();
+                spec.rrb_budget = rem_rrb[i];
+                spec
+            })
+            .collect();
+        ProblemInstance::build(
+            self.sps.clone(),
+            bss,
+            ues,
+            self.catalog,
+            self.pricing,
+            self.radio,
+            self.coverage,
+        )
+    }
+
+    /// Remaining RRB budgets after an allocation, indexed by BS.
+    #[must_use]
+    pub fn remaining_rrbs(&self, allocation: &Allocation) -> Vec<RrbCount> {
+        let mut rem: Vec<RrbCount> = self.bss.iter().map(|b| b.rrb_budget).collect();
+        for ue in &self.ues {
+            if let Some(bs) = allocation.bs_of(ue.id) {
+                if let Some(link) = self.link(ue.id, bs) {
+                    rem[bs.as_usize()] = rem[bs.as_usize()].saturating_sub(link.n_rrbs);
+                }
+            }
+        }
+        rem
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use dmra_types::{Dbm, Hertz, Point, ServiceId, SpId};
+
+    pub(crate) fn two_sp_instance() -> ProblemInstance {
+        let sps = vec![
+            SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0)),
+            SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0)),
+        ];
+        let catalog = ServiceCatalog::new(2);
+        let bss = vec![
+            BsSpec::new(
+                BsId::new(0),
+                SpId::new(0),
+                Point::new(0.0, 0.0),
+                vec![Cru::new(100), Cru::new(100)],
+                Hertz::from_mhz(10.0),
+                RrbCount::new(55),
+            ),
+            BsSpec::new(
+                BsId::new(1),
+                SpId::new(1),
+                Point::new(300.0, 0.0),
+                vec![Cru::new(100), Cru::ZERO],
+                Hertz::from_mhz(10.0),
+                RrbCount::new(55),
+            ),
+        ];
+        let ues = vec![
+            UeSpec::new(
+                UeId::new(0),
+                SpId::new(0),
+                Point::new(100.0, 0.0),
+                ServiceId::new(0),
+                Cru::new(4),
+                BitsPerSec::from_mbps(3.0),
+                Dbm::new(10.0),
+            ),
+            UeSpec::new(
+                UeId::new(1),
+                SpId::new(1),
+                Point::new(200.0, 0.0),
+                ServiceId::new(1),
+                Cru::new(3),
+                BitsPerSec::from_mbps(2.0),
+                Dbm::new(10.0),
+            ),
+        ];
+        ProblemInstance::build(
+            sps,
+            bss,
+            ues,
+            catalog,
+            PricingConfig::paper_defaults(),
+            RadioConfig::paper_defaults(),
+            CoverageModel::default(),
+        )
+        .expect("valid instance")
+    }
+
+    #[test]
+    fn candidates_respect_service_hosting() {
+        let inst = two_sp_instance();
+        // UE 1 requests service 1, which bs1 does not host.
+        let c: Vec<_> = inst.candidates(UeId::new(1)).iter().map(|l| l.bs).collect();
+        assert_eq!(c, vec![BsId::new(0)]);
+        // UE 0 requests service 0, hosted by both BSs in coverage.
+        assert_eq!(inst.f_u(UeId::new(0)), 2);
+    }
+
+    #[test]
+    fn covered_ues_mirror_candidates() {
+        let inst = two_sp_instance();
+        assert_eq!(inst.covered_ues(BsId::new(0)), &[UeId::new(0), UeId::new(1)]);
+        assert_eq!(inst.covered_ues(BsId::new(1)), &[UeId::new(0)]);
+    }
+
+    #[test]
+    fn link_prices_follow_sp_relationship() {
+        let inst = two_sp_instance();
+        let own = inst.link(UeId::new(0), BsId::new(0)).unwrap();
+        let cross = inst.link(UeId::new(0), BsId::new(1)).unwrap();
+        assert!(own.same_sp);
+        assert!(!cross.same_sp);
+        // Cross-SP is farther *and* marked up here.
+        assert!(cross.price > own.price);
+    }
+
+    #[test]
+    fn rrb_demand_grows_with_distance() {
+        let inst = two_sp_instance();
+        let near = inst.link(UeId::new(0), BsId::new(0)).unwrap(); // 100 m
+        let far = inst.link(UeId::new(0), BsId::new(1)).unwrap(); // 200 m
+        assert!(far.n_rrbs >= near.n_rrbs);
+    }
+
+    #[test]
+    fn coverage_radius_prunes_far_bss() {
+        let mut inst = two_sp_instance();
+        // Rebuild with a 150 m radius: UE 0 at 100 m sees only bs0.
+        inst = ProblemInstance::build(
+            inst.sps.clone(),
+            inst.bss.clone(),
+            inst.ues.clone(),
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            CoverageModel::FixedRadius(Meters::new(150.0)),
+        )
+        .unwrap();
+        assert_eq!(inst.f_u(UeId::new(0)), 1);
+        // UE 1 at 200 m from bs0 loses all candidates.
+        assert_eq!(inst.f_u(UeId::new(1)), 0);
+    }
+
+    #[test]
+    fn min_rate_coverage_behaves_like_sinr_threshold() {
+        let inst = two_sp_instance();
+        let rate_at_200m = inst.link(UeId::new(1), BsId::new(0)).unwrap().per_rrb_rate;
+        let rebuilt = ProblemInstance::build(
+            inst.sps.clone(),
+            inst.bss.clone(),
+            inst.ues.clone(),
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            CoverageModel::MinPerRrbRate(BitsPerSec::new(rate_at_200m.get() + 1.0)),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.f_u(UeId::new(1)), 0);
+    }
+
+    #[test]
+    fn build_rejects_dangling_references() {
+        let inst = two_sp_instance();
+        let mut bad_ues = inst.ues.clone();
+        bad_ues[0].sp = SpId::new(9);
+        let err = ProblemInstance::build(
+            inst.sps.clone(),
+            inst.bss.clone(),
+            bad_ues,
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            inst.coverage,
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::UnknownSp(SpId::new(9)));
+
+        let mut bad_ues = inst.ues.clone();
+        bad_ues[1].service = ServiceId::new(7);
+        let err = ProblemInstance::build(
+            inst.sps.clone(),
+            inst.bss.clone(),
+            bad_ues,
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            inst.coverage,
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::UnknownService(ServiceId::new(7)));
+    }
+
+    #[test]
+    fn build_rejects_wrong_budget_arity() {
+        let inst = two_sp_instance();
+        let mut bad_bss = inst.bss.clone();
+        bad_bss[0].cru_budget.pop();
+        let err = ProblemInstance::build(
+            inst.sps.clone(),
+            bad_bss,
+            inst.ues.clone(),
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            inst.coverage,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn build_rejects_unprofitable_pricing() {
+        let inst = two_sp_instance();
+        let thin = vec![
+            SpSpec::new(SpId::new(0), Money::new(3.0), Money::new(1.0)),
+            SpSpec::new(SpId::new(1), Money::new(3.0), Money::new(1.0)),
+        ];
+        let err = ProblemInstance::build(
+            thin,
+            inst.bss.clone(),
+            inst.ues.clone(),
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            inst.coverage,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::UnprofitablePricing { .. }), "{err}");
+    }
+
+    #[test]
+    fn residual_instance_shrinks_candidates() {
+        let inst = two_sp_instance();
+        // Drain bs0 completely; ue0's only remaining candidate is bs1.
+        let rem_cru = vec![vec![Cru::ZERO, Cru::ZERO], inst.bss()[1].cru_budget.clone()];
+        let rem_rrb = vec![RrbCount::ZERO, inst.bss()[1].rrb_budget];
+        let residual = inst
+            .residual(&rem_cru, &rem_rrb, inst.ues().to_vec())
+            .unwrap();
+        assert_eq!(residual.f_u(UeId::new(0)), 1);
+        assert_eq!(
+            residual.candidates(UeId::new(0))[0].bs,
+            BsId::new(1)
+        );
+        // ue1 requests a service bs1 does not host: no candidates left.
+        assert_eq!(residual.f_u(UeId::new(1)), 0);
+    }
+
+    #[test]
+    fn residual_rejects_wrong_arity() {
+        let inst = two_sp_instance();
+        let err = inst
+            .residual(&[], &[], inst.ues().to_vec())
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn candidate_excludes_oversized_demand() {
+        let inst = two_sp_instance();
+        let mut hungry = inst.ues.clone();
+        hungry[0].cru_demand = Cru::new(1000); // exceeds every budget
+        let rebuilt = ProblemInstance::build(
+            inst.sps.clone(),
+            inst.bss.clone(),
+            hungry,
+            inst.catalog,
+            inst.pricing,
+            inst.radio,
+            inst.coverage,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.f_u(UeId::new(0)), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The SP utility ledger implementing Eqs. (5)–(8).
+
+use dmra_types::{Cru, Money, SpId, SpSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-SP accumulator of the three utility terms.
+///
+/// `W_k = W_k^r − W_k^B − W_k^S` where, over the SP's edge-served
+/// subscribers `U_k`:
+///
+/// * `W_k^r = Σ c_j^u · m_k` — subscriber revenue (Eq. (6)),
+/// * `W_k^B = Σ a_{u,i} · p_{i,u} · c_j^u` — payments to BSs (Eq. (7)),
+/// * `W_k^S = Σ c_j^u · m_k^o` — other serving costs (Eq. (8)).
+///
+/// Cloud-forwarded tasks are *not* part of `U_k` and are recorded only as
+/// counters for the traffic-load metric.
+#[derive(Debug, Clone)]
+pub struct ProfitLedger {
+    sps: Vec<SpSpec>,
+    revenue: Vec<Money>,
+    bs_payment: Vec<Money>,
+    other_cost: Vec<Money>,
+    edge_served: Vec<u64>,
+    cloud_forwarded: Vec<u64>,
+}
+
+impl ProfitLedger {
+    /// Creates an empty ledger for the given SPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if SP ids are not the dense range `0..sps.len()` — the ledger
+    /// indexes its accumulators by id.
+    #[must_use]
+    pub fn new(sps: &[SpSpec]) -> Self {
+        for (i, sp) in sps.iter().enumerate() {
+            assert!(
+                sp.id.as_usize() == i,
+                "SP ids must be dense and ordered, found {} at position {i}",
+                sp.id
+            );
+        }
+        let n = sps.len();
+        Self {
+            sps: sps.to_vec(),
+            revenue: vec![Money::new(0.0); n],
+            bs_payment: vec![Money::new(0.0); n],
+            other_cost: vec![Money::new(0.0); n],
+            edge_served: vec![0; n],
+            cloud_forwarded: vec![0; n],
+        }
+    }
+
+    /// Records one UE of SP `sp` served at the edge for `cru` CRUs at BS
+    /// price `bs_price` per CRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` is not one of the ledger's SPs.
+    pub fn record_edge_service(&mut self, sp: SpId, cru: Cru, bs_price: Money) {
+        let k = sp.as_usize();
+        let spec = self.sps[k];
+        self.revenue[k] += spec.cru_price * cru;
+        self.bs_payment[k] += bs_price * cru;
+        self.other_cost[k] += spec.other_cost * cru;
+        self.edge_served[k] += 1;
+    }
+
+    /// Records one UE of SP `sp` forwarded to the remote cloud (no
+    /// MEC-layer profit; counted for the forwarded-traffic metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` is not one of the ledger's SPs.
+    pub fn record_cloud_forward(&mut self, sp: SpId) {
+        self.cloud_forwarded[sp.as_usize()] += 1;
+    }
+
+    /// Produces the immutable profit report.
+    #[must_use]
+    pub fn report(&self) -> ProfitReport {
+        let per_sp = self
+            .sps
+            .iter()
+            .enumerate()
+            .map(|(k, sp)| SpProfit {
+                sp: sp.id,
+                revenue: self.revenue[k],
+                bs_payment: self.bs_payment[k],
+                other_cost: self.other_cost[k],
+                edge_served: self.edge_served[k],
+                cloud_forwarded: self.cloud_forwarded[k],
+            })
+            .collect();
+        ProfitReport { per_sp }
+    }
+}
+
+/// The utility breakdown of one SP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpProfit {
+    /// The SP this row describes.
+    pub sp: SpId,
+    /// `W_k^r`: revenue from subscribers.
+    pub revenue: Money,
+    /// `W_k^B`: payments to BSs.
+    pub bs_payment: Money,
+    /// `W_k^S`: other serving costs.
+    pub other_cost: Money,
+    /// Number of subscribers served at the edge (`|U_k|`).
+    pub edge_served: u64,
+    /// Number of subscribers forwarded to the remote cloud.
+    pub cloud_forwarded: u64,
+}
+
+impl SpProfit {
+    /// `W_k`: the SP's MEC-layer profit (Eq. (5)).
+    #[must_use]
+    pub fn profit(&self) -> Money {
+        self.revenue - self.bs_payment - self.other_cost
+    }
+}
+
+/// The full profit report across SPs — the quantity Figs. 2–6 plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfitReport {
+    /// One row per SP, ordered by id.
+    pub per_sp: Vec<SpProfit>,
+}
+
+impl ProfitReport {
+    /// `Σ_k W_k`: the TPM objective (Eq. (11)).
+    #[must_use]
+    pub fn total_profit(&self) -> Money {
+        self.per_sp.iter().map(SpProfit::profit).sum()
+    }
+
+    /// Total UEs served at the edge across SPs.
+    #[must_use]
+    pub fn total_edge_served(&self) -> u64 {
+        self.per_sp.iter().map(|p| p.edge_served).sum()
+    }
+
+    /// Total UEs forwarded to the remote cloud across SPs.
+    #[must_use]
+    pub fn total_cloud_forwarded(&self) -> u64 {
+        self.per_sp.iter().map(|p| p.cloud_forwarded).sum()
+    }
+}
+
+impl fmt::Display for ProfitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>6}",
+            "sp", "revenue", "bs_payment", "other_cost", "profit", "edge", "cloud"
+        )?;
+        for p in &self.per_sp {
+            writeln!(
+                f,
+                "{:<6} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>6} {:>6}",
+                p.sp.to_string(),
+                p.revenue.get(),
+                p.bs_payment.get(),
+                p.other_cost.get(),
+                p.profit().get(),
+                p.edge_served,
+                p.cloud_forwarded
+            )?;
+        }
+        write!(f, "total profit: {:.2}", self.total_profit().get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sps(n: u32) -> Vec<SpSpec> {
+        (0..n)
+            .map(|k| SpSpec::new(SpId::new(k), Money::new(10.0), Money::new(1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn edge_service_books_all_three_terms() {
+        let mut ledger = ProfitLedger::new(&sps(2));
+        ledger.record_edge_service(SpId::new(1), Cru::new(4), Money::new(2.5));
+        let r = ledger.report();
+        let p = r.per_sp[1];
+        assert!((p.revenue.get() - 40.0).abs() < 1e-12); // 4 × m_k
+        assert!((p.bs_payment.get() - 10.0).abs() < 1e-12); // 4 × 2.5
+        assert!((p.other_cost.get() - 4.0).abs() < 1e-12); // 4 × m_k^o
+        assert!((p.profit().get() - 26.0).abs() < 1e-12);
+        assert_eq!(p.edge_served, 1);
+        // The other SP is untouched.
+        assert_eq!(r.per_sp[0].profit().get(), 0.0);
+    }
+
+    #[test]
+    fn cloud_forward_earns_nothing() {
+        let mut ledger = ProfitLedger::new(&sps(1));
+        ledger.record_cloud_forward(SpId::new(0));
+        let r = ledger.report();
+        assert_eq!(r.total_profit().get(), 0.0);
+        assert_eq!(r.total_cloud_forwarded(), 1);
+        assert_eq!(r.total_edge_served(), 0);
+    }
+
+    #[test]
+    fn totals_sum_over_sps() {
+        let mut ledger = ProfitLedger::new(&sps(3));
+        ledger.record_edge_service(SpId::new(0), Cru::new(3), Money::new(2.0));
+        ledger.record_edge_service(SpId::new(2), Cru::new(5), Money::new(3.0));
+        ledger.record_cloud_forward(SpId::new(1));
+        let r = ledger.report();
+        // sp0: 3·(10−1−2) = 21; sp2: 5·(10−1−3) = 30.
+        assert!((r.total_profit().get() - 51.0).abs() < 1e-12);
+        assert_eq!(r.total_edge_served(), 2);
+        assert_eq!(r.total_cloud_forwarded(), 1);
+    }
+
+    #[test]
+    fn constraint_16_implies_positive_profit_per_service() {
+        // Any price below m_k − m_k^o yields positive per-UE profit.
+        let mut ledger = ProfitLedger::new(&sps(1));
+        ledger.record_edge_service(SpId::new(0), Cru::new(3), Money::new(8.99));
+        assert!(ledger.report().total_profit().get() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn non_dense_sp_ids_panic() {
+        let bad = vec![SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0))];
+        let _ = ProfitLedger::new(&bad);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let ledger = ProfitLedger::new(&sps(2));
+        let text = ledger.report().to_string();
+        assert!(text.contains("total profit: 0.00"));
+        assert!(text.contains("sp0"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_profit_formula_matches_paper(
+            services in proptest::collection::vec((0u32..3, 1u32..10, 1.0f64..8.0), 0..40)
+        ) {
+            let specs = sps(3);
+            let mut ledger = ProfitLedger::new(&specs);
+            let mut expected = 0.0;
+            for (k, cru, price) in services {
+                ledger.record_edge_service(SpId::new(k), Cru::new(cru), Money::new(price));
+                expected += f64::from(cru) * (10.0 - 1.0 - price);
+            }
+            let total = ledger.report().total_profit().get();
+            prop_assert!((total - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Pricing and SP utility accounting (Sections III-D and IV of the paper).
+//!
+//! Money flows in the model: UEs pay their SP `m_k` per CRU; the SP pays
+//! the serving BS `p_{i,u}` per CRU and bears an overhead `m_k^o` per CRU.
+//! The BS price (Eqs. (9)–(10)) depends on whether UE and BS share an SP
+//! and on their distance:
+//!
+//! ```text
+//! p_{i,u} = b + d^σ·b        same SP
+//! p_{i,u} = ι·b + d^σ·b      different SPs   (ι > 1)
+//! ```
+//!
+//! The MEC-layer utility of SP `k` (Eqs. (5)–(8)) sums over its
+//! edge-served subscribers `U_k` only; cloud-forwarded tasks earn nothing
+//! at the MEC layer. Constraint (16), `m_k > p_{i,u} + m_k^o`, guarantees
+//! every edge assignment is profitable; [`PricingConfig::validate_margin`]
+//! checks it against the worst-case link distance at scenario build time.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmra_econ::{PricingConfig, ProfitLedger};
+//! use dmra_types::{Cru, Meters, Money, SpId, SpSpec};
+//!
+//! let pricing = PricingConfig::paper_defaults(); // b = 2, ι = 2, σ = 0.01
+//! let own = pricing.bs_cru_price(true, Meters::new(300.0));
+//! let rival = pricing.bs_cru_price(false, Meters::new(300.0));
+//! assert!(rival > own); // using another SP's BS costs more
+//!
+//! let sps = vec![SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0))];
+//! let mut ledger = ProfitLedger::new(&sps);
+//! ledger.record_edge_service(SpId::new(0), Cru::new(4), own);
+//! assert!(ledger.report().total_profit().get() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ledger;
+mod pricing;
+
+pub use ledger::{ProfitLedger, ProfitReport, SpProfit};
+pub use pricing::PricingConfig;

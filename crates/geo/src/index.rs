@@ -1,0 +1,231 @@
+//! A uniform-grid spatial index over a fixed set of points.
+//!
+//! Coverage queries — "which BSs lie within radius `r` of UE `u`" — are the
+//! hot inner loop of scenario construction (`|U| × |B|` pairs at up to 1000
+//! UEs × 25 BSs in the paper, and far more in scaling benches). Bucketing
+//! sites into cells of the query radius keeps candidate generation local.
+
+use dmra_types::{Meters, Point};
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index over an immutable slice of points.
+///
+/// Build once with [`GridIndex::build`], then run any number of
+/// [`GridIndex::query_within`] radius queries. Indices returned by queries
+/// refer to positions in the original slice.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index with the given cell size (typically the most common
+    /// query radius).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    #[must_use]
+    pub fn build(points: &[Point], cell_size: Meters) -> Self {
+        assert!(
+            cell_size.get() > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite"
+        );
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            cells
+                .entry(Self::cell_of(p, cell_size.get()))
+                .or_default()
+                .push(i);
+        }
+        Self {
+            cell_size: cell_size.get(),
+            cells,
+            points: points.to_vec(),
+        }
+    }
+
+    fn cell_of(p: Point, cell: f64) -> (i64, i64) {
+        (
+            (p.x / cell).floor() as i64,
+            (p.y / cell).floor() as i64,
+        )
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the indices of all points within `radius` of `center`
+    /// (inclusive), in ascending index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmra_geo::GridIndex;
+    /// # use dmra_types::{Meters, Point};
+    /// let pts = [Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(500.0, 0.0)];
+    /// let idx = GridIndex::build(&pts, Meters::new(200.0));
+    /// assert_eq!(idx.query_within(Point::new(0.0, 0.0), Meters::new(150.0)), vec![0, 1]);
+    /// ```
+    #[must_use]
+    pub fn query_within(&self, center: Point, radius: Meters) -> Vec<usize> {
+        let r = radius.get();
+        if r < 0.0 {
+            return Vec::new();
+        }
+        let span = (r / self.cell_size).ceil() as i64;
+        let (cx, cy) = Self::cell_of(center, self.cell_size);
+        let mut out = Vec::new();
+        for dx in -span..=span {
+            for dy in -span..=span {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &i in bucket {
+                        if self.points[i].distance(center).get() <= r {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Counts the points within `radius` of `center` without allocating the
+    /// index list — used for the paper's `f_u` statistic when only the count
+    /// matters.
+    #[must_use]
+    pub fn count_within(&self, center: Point, radius: Meters) -> usize {
+        let r = radius.get();
+        if r < 0.0 {
+            return 0;
+        }
+        let span = (r / self.cell_size).ceil() as i64;
+        let (cx, cy) = Self::cell_of(center, self.cell_size);
+        let mut n = 0;
+        for dx in -span..=span {
+            for dy in -span..=span {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    n += bucket
+                        .iter()
+                        .filter(|&&i| self.points[i].distance(center).get() <= r)
+                        .count();
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::uniform_random;
+    use crate::rng::component_rng;
+    use dmra_types::Rect;
+    use proptest::prelude::*;
+
+    fn brute_force(points: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(center).get() <= radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force_on_random_points() {
+        let mut rng = component_rng(11, "index");
+        let pts = uniform_random(400, Rect::default(), &mut rng);
+        let idx = GridIndex::build(&pts, Meters::new(150.0));
+        for &(x, y, r) in &[
+            (600.0, 600.0, 200.0),
+            (0.0, 0.0, 500.0),
+            (1200.0, 1200.0, 50.0),
+            (300.0, 900.0, 0.0),
+        ] {
+            let c = Point::new(x, y);
+            assert_eq!(idx.query_within(c, Meters::new(r)), brute_force(&pts, c, r));
+        }
+    }
+
+    #[test]
+    fn count_matches_query_length() {
+        let mut rng = component_rng(12, "index");
+        let pts = uniform_random(200, Rect::default(), &mut rng);
+        let idx = GridIndex::build(&pts, Meters::new(100.0));
+        let c = Point::new(500.0, 700.0);
+        assert_eq!(
+            idx.count_within(c, Meters::new(333.0)),
+            idx.query_within(c, Meters::new(333.0)).len()
+        );
+    }
+
+    #[test]
+    fn radius_is_inclusive() {
+        let pts = [Point::new(0.0, 0.0), Point::new(300.0, 0.0)];
+        let idx = GridIndex::build(&pts, Meters::new(300.0));
+        assert_eq!(
+            idx.query_within(Point::new(0.0, 0.0), Meters::new(300.0)),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = GridIndex::build(&[], Meters::new(100.0));
+        assert!(idx.is_empty());
+        assert!(idx
+            .query_within(Point::new(0.0, 0.0), Meters::new(1e6))
+            .is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let pts = [Point::new(-250.0, -250.0), Point::new(250.0, 250.0)];
+        let idx = GridIndex::build(&pts, Meters::new(100.0));
+        assert_eq!(
+            idx.query_within(Point::new(-240.0, -240.0), Meters::new(50.0)),
+            vec![0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build(&[], Meters::new(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_equals_brute_force(
+            seed in 0u64..200,
+            n in 0usize..120,
+            x in 0.0f64..1200.0,
+            y in 0.0f64..1200.0,
+            r in 0.0f64..900.0,
+            cell in 20.0f64..600.0,
+        ) {
+            let mut rng = component_rng(seed, "prop-index");
+            let pts = uniform_random(n, Rect::default(), &mut rng);
+            let idx = GridIndex::build(&pts, Meters::new(cell));
+            let c = Point::new(x, y);
+            prop_assert_eq!(
+                idx.query_within(c, Meters::new(r)),
+                brute_force(&pts, c, r)
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Deployment geometry for the DMRA reproduction.
+//!
+//! This crate turns the paper's two deployment styles into code:
+//!
+//! * **Regular placement** — BSs on a square grid with a configurable
+//!   inter-site distance (the paper uses 300 m), see
+//!   [`placement::regular_grid`].
+//! * **Random placement** — BSs uniformly random in a rectangle (the paper
+//!   uses 1200 m × 1200 m), see [`placement::uniform_random`].
+//! * **Hexagonal placement** — a classical cellular lattice
+//!   ([`placement::hex_grid`]), provided as an extension.
+//!
+//! UEs are placed uniformly at random or with a hotspot mixture
+//! ([`placement::hotspot_mixture`]) to model popular areas. A uniform-grid
+//! spatial index ([`GridIndex`]) answers "which BSs are within coverage
+//! radius of this UE" queries in expected O(1) per candidate.
+//!
+//! All randomness is driven by explicit seeds through [`rng::sub_seed`], so
+//! scenario generation is deterministic and component-independent.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmra_geo::{placement, GridIndex};
+//! use dmra_types::{Meters, Rect};
+//!
+//! let sites = placement::regular_grid(5, 5, Meters::new(300.0), Rect::default());
+//! assert_eq!(sites.len(), 25);
+//!
+//! let index = GridIndex::build(&sites, Meters::new(300.0));
+//! let near = index.query_within(sites[12], Meters::new(301.0));
+//! // The center site sees itself and its four grid neighbours.
+//! assert_eq!(near.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod index;
+pub mod placement;
+pub mod rng;
+
+pub use index::GridIndex;
+pub use placement::SpAssignment;

@@ -1,0 +1,341 @@
+//! BS and UE placement generators.
+//!
+//! The paper evaluates two BS deployments — a regular grid with 300 m
+//! inter-site distance and uniform-random placement in a 1200 m × 1200 m
+//! square — with 5 SPs deploying 5 BSs each. UEs are "distributed randomly
+//! in the network"; we additionally provide a hotspot mixture to model the
+//! "popular areas" the introduction motivates.
+
+use dmra_types::{Meters, Point, Rect, SpId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How grid/random BS sites are divided among SPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SpAssignment {
+    /// Site `s` belongs to SP `s mod n_sps`. On a regular grid this
+    /// interleaves SPs so every neighbourhood mixes operators — the
+    /// densely-overlapped multi-SP coverage the paper assumes.
+    #[default]
+    RoundRobin,
+    /// Sites are assigned to SPs by a seeded random shuffle (balanced:
+    /// each SP still gets the same number of sites).
+    Shuffled,
+}
+
+impl SpAssignment {
+    /// Produces the SP owning each of `n_sites` sites, split evenly among
+    /// `n_sps` providers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sps` is zero or `n_sites` is not a multiple of
+    /// `n_sps` (the paper's 25 = 5 × 5 split is exact; uneven splits would
+    /// silently bias per-SP profit).
+    #[must_use]
+    pub fn assign<R: Rng>(self, n_sites: usize, n_sps: u32, rng: &mut R) -> Vec<SpId> {
+        assert!(n_sps > 0, "need at least one SP");
+        assert!(
+            n_sites.is_multiple_of(n_sps as usize),
+            "sites ({n_sites}) must divide evenly among SPs ({n_sps})"
+        );
+        let mut owners: Vec<SpId> = (0..n_sites)
+            .map(|s| SpId::new((s % n_sps as usize) as u32))
+            .collect();
+        if self == SpAssignment::Shuffled {
+            // Fisher–Yates with the caller's RNG keeps this deterministic
+            // under the scenario seed.
+            for i in (1..owners.len()).rev() {
+                let j = rng.random_range(0..=i);
+                owners.swap(i, j);
+            }
+        }
+        owners
+    }
+}
+
+/// Places `rows × cols` sites on a square grid with the given inter-site
+/// distance, centered inside `region`.
+///
+/// This is the paper's *regular* placement: 5 × 5 sites, 300 m apart.
+///
+/// # Examples
+///
+/// ```
+/// # use dmra_geo::placement::regular_grid;
+/// # use dmra_types::{Meters, Rect};
+/// let sites = regular_grid(5, 5, Meters::new(300.0), Rect::default());
+/// assert_eq!(sites.len(), 25);
+/// // Neighbouring sites are exactly one inter-site distance apart.
+/// let d = sites[0].distance(sites[1]);
+/// assert!((d.get() - 300.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn regular_grid(rows: u32, cols: u32, isd: Meters, region: Rect) -> Vec<Point> {
+    let center = region.center();
+    let width = f64::from(cols.saturating_sub(1)) * isd.get();
+    let height = f64::from(rows.saturating_sub(1)) * isd.get();
+    let origin = Point::new(center.x - width / 2.0, center.y - height / 2.0);
+    let mut sites = Vec::with_capacity((rows * cols) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            sites.push(Point::new(
+                origin.x + f64::from(c) * isd.get(),
+                origin.y + f64::from(r) * isd.get(),
+            ));
+        }
+    }
+    sites
+}
+
+/// Places `rows × cols` sites on a hexagonal lattice (odd rows shifted by
+/// half the inter-site distance, row spacing `isd·√3/2`), centered inside
+/// `region` — the classical cellular layout, provided as an extension
+/// beyond the paper's square grid.
+///
+/// # Examples
+///
+/// ```
+/// # use dmra_geo::placement::hex_grid;
+/// # use dmra_types::{Meters, Rect};
+/// let sites = hex_grid(3, 3, Meters::new(300.0), Rect::default());
+/// assert_eq!(sites.len(), 9);
+/// // Nearest neighbours across rows are exactly one ISD apart.
+/// let d = sites[0].distance(sites[3]);
+/// assert!((d.get() - 300.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn hex_grid(rows: u32, cols: u32, isd: Meters, region: Rect) -> Vec<Point> {
+    let center = region.center();
+    let row_spacing = isd.get() * 3f64.sqrt() / 2.0;
+    let width = f64::from(cols.saturating_sub(1)) * isd.get();
+    let height = f64::from(rows.saturating_sub(1)) * row_spacing;
+    let origin = Point::new(center.x - width / 2.0, center.y - height / 2.0);
+    let mut sites = Vec::with_capacity((rows * cols) as usize);
+    for r in 0..rows {
+        let shift = if r % 2 == 1 { isd.get() / 2.0 } else { 0.0 };
+        for c in 0..cols {
+            sites.push(Point::new(
+                origin.x + f64::from(c) * isd.get() + shift,
+                origin.y + f64::from(r) * row_spacing,
+            ));
+        }
+    }
+    sites
+}
+
+/// Places `n` sites uniformly at random inside `region`.
+///
+/// This is the paper's *random* placement (1200 m × 1200 m rectangle).
+#[must_use]
+pub fn uniform_random<R: Rng>(n: usize, region: Rect, rng: &mut R) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.random_range(region.min.x..=region.max.x),
+                rng.random_range(region.min.y..=region.max.y),
+            )
+        })
+        .collect()
+}
+
+/// Places `n` points with a hotspot mixture: with probability
+/// `hotspot_fraction` a point is drawn from a Gaussian around a random
+/// hotspot center (clamped to the region), otherwise uniformly.
+///
+/// Models the "popular areas" of the paper's introduction, where SPs
+/// overlap their deployments. `std_dev` controls hotspot tightness.
+///
+/// # Panics
+///
+/// Panics if `hotspot_fraction` is outside `[0, 1]` or `centers` is empty
+/// while `hotspot_fraction > 0`.
+#[must_use]
+pub fn hotspot_mixture<R: Rng>(
+    n: usize,
+    region: Rect,
+    centers: &[Point],
+    std_dev: Meters,
+    hotspot_fraction: f64,
+    rng: &mut R,
+) -> Vec<Point> {
+    assert!(
+        (0.0..=1.0).contains(&hotspot_fraction),
+        "hotspot_fraction must be within [0, 1]"
+    );
+    assert!(
+        hotspot_fraction == 0.0 || !centers.is_empty(),
+        "hotspot placement requires at least one center"
+    );
+    (0..n)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < hotspot_fraction {
+                let c = centers[rng.random_range(0..centers.len())];
+                let p = Point::new(
+                    c.x + gaussian(rng) * std_dev.get(),
+                    c.y + gaussian(rng) * std_dev.get(),
+                );
+                clamp_to(p, region)
+            } else {
+                Point::new(
+                    rng.random_range(region.min.x..=region.max.x),
+                    rng.random_range(region.min.y..=region.max.y),
+                )
+            }
+        })
+        .collect()
+}
+
+/// A standard-normal draw via Box–Muller (avoids pulling `rand_distr`).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.random_range(0.0..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn clamp_to(p: Point, region: Rect) -> Point {
+    Point::new(
+        p.x.clamp(region.min.x, region.max.x),
+        p.y.clamp(region.min.y, region.max.y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::component_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grid_is_centered_in_region() {
+        let region = Rect::default(); // 1200 × 1200
+        let sites = regular_grid(5, 5, Meters::new(300.0), region);
+        let cx = sites.iter().map(|p| p.x).sum::<f64>() / sites.len() as f64;
+        let cy = sites.iter().map(|p| p.y).sum::<f64>() / sites.len() as f64;
+        assert!((cx - 600.0).abs() < 1e-9);
+        assert!((cy - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_single_site_sits_at_center() {
+        let sites = regular_grid(1, 1, Meters::new(300.0), Rect::default());
+        assert_eq!(sites.len(), 1);
+        assert!((sites[0].x - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_isd_is_exact_between_row_neighbours() {
+        let sites = regular_grid(3, 4, Meters::new(250.0), Rect::default());
+        assert_eq!(sites.len(), 12);
+        // Row-major: sites[4] starts the second row.
+        let d = sites[0].distance(sites[4]).get();
+        assert!((d - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hex_grid_geometry() {
+        let sites = hex_grid(3, 3, Meters::new(300.0), Rect::default());
+        assert_eq!(sites.len(), 9);
+        // In-row neighbours: exactly one ISD.
+        assert!((sites[0].distance(sites[1]).get() - 300.0).abs() < 1e-9);
+        // Cross-row nearest neighbour (the shifted site): also one ISD.
+        assert!((sites[0].distance(sites[3]).get() - 300.0).abs() < 1e-9);
+        // Row spacing is isd·√3/2 ≈ 259.81 m.
+        assert!((sites[3].y - sites[0].y - 259.807).abs() < 1e-2);
+        // Centered: mean position is the region center.
+        let cx = sites.iter().map(|p| p.x).sum::<f64>() / 9.0;
+        assert!((cx - 600.0).abs() < 60.0); // odd-row shift skews slightly
+    }
+
+    #[test]
+    fn hex_single_row_reduces_to_line() {
+        let sites = hex_grid(1, 4, Meters::new(100.0), Rect::default());
+        assert!(sites.windows(2).all(|w| (w[0].distance(w[1]).get() - 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn uniform_random_stays_in_region_and_is_seeded() {
+        let region = Rect::default();
+        let mut r1 = component_rng(5, "bs");
+        let mut r2 = component_rng(5, "bs");
+        let a = uniform_random(100, region, &mut r1);
+        let b = uniform_random(100, region, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| region.contains(p)));
+    }
+
+    #[test]
+    fn round_robin_assignment_interleaves() {
+        let mut rng = component_rng(0, "assign");
+        let owners = SpAssignment::RoundRobin.assign(10, 5, &mut rng);
+        assert_eq!(owners[0], SpId::new(0));
+        assert_eq!(owners[4], SpId::new(4));
+        assert_eq!(owners[5], SpId::new(0));
+    }
+
+    #[test]
+    fn shuffled_assignment_is_balanced() {
+        let mut rng = component_rng(1, "assign");
+        let owners = SpAssignment::Shuffled.assign(25, 5, &mut rng);
+        for k in 0..5 {
+            let count = owners.iter().filter(|o| o.index() == k).count();
+            assert_eq!(count, 5, "sp{k} should own exactly 5 sites");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_assignment_panics() {
+        let mut rng = component_rng(0, "assign");
+        let _ = SpAssignment::RoundRobin.assign(7, 5, &mut rng);
+    }
+
+    #[test]
+    fn hotspot_mixture_respects_region() {
+        let region = Rect::default();
+        let centers = [Point::new(100.0, 100.0), Point::new(1100.0, 1100.0)];
+        let mut rng = component_rng(3, "ue");
+        let pts = hotspot_mixture(500, region, &centers, Meters::new(50.0), 0.7, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|&p| region.contains(p)));
+    }
+
+    #[test]
+    fn hotspot_fraction_one_clusters_points() {
+        let region = Rect::default();
+        let centers = [Point::new(600.0, 600.0)];
+        let mut rng = component_rng(4, "ue");
+        let pts = hotspot_mixture(300, region, &centers, Meters::new(30.0), 1.0, &mut rng);
+        let near = pts
+            .iter()
+            .filter(|p| p.distance(centers[0]).get() < 150.0)
+            .count();
+        // ~5 sigma: essentially all points should be near the hotspot.
+        assert!(near > 290, "only {near}/300 points near hotspot");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn hotspot_without_centers_panics() {
+        let mut rng = component_rng(0, "ue");
+        let _ = hotspot_mixture(10, Rect::default(), &[], Meters::new(10.0), 0.5, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_points_inside_region(seed in 0u64..500, n in 1usize..200) {
+            let region = Rect::default();
+            let mut rng = component_rng(seed, "prop");
+            let pts = uniform_random(n, region, &mut rng);
+            prop_assert_eq!(pts.len(), n);
+            prop_assert!(pts.iter().all(|&p| region.contains(p)));
+        }
+
+        #[test]
+        fn prop_grid_size(rows in 1u32..8, cols in 1u32..8) {
+            let sites = regular_grid(rows, cols, Meters::new(100.0), Rect::default());
+            prop_assert_eq!(sites.len(), (rows * cols) as usize);
+        }
+    }
+}

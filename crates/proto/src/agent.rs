@@ -1,0 +1,146 @@
+//! Agents, addresses, envelopes and outboxes.
+
+use dmra_types::{BsId, UeId};
+use std::fmt;
+
+/// The address of a protocol participant.
+///
+/// The DMRA protocol has three kinds of participants: UEs, BSs and the
+/// remote cloud (which absorbs forwarded tasks and never replies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Address {
+    /// A user equipment.
+    Ue(UeId),
+    /// A base station.
+    Bs(BsId),
+    /// The remote cloud (a sink; registering an agent for it is optional).
+    Cloud,
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Address::Ue(id) => write!(f, "{id}"),
+            Address::Bs(id) => write!(f, "{id}"),
+            Address::Cloud => write!(f, "cloud"),
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Sender address.
+    pub from: Address,
+    /// Recipient address.
+    pub to: Address,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Classifies messages for the engine's per-kind accounting.
+///
+/// Implementations return a small set of static labels (e.g.
+/// `"service-request"`, `"accept"`, `"resource-broadcast"`).
+pub trait MessageKind {
+    /// A static label naming this message's kind.
+    fn kind(&self) -> &'static str;
+
+    /// Approximate wire size of this message in bytes, for the engine's
+    /// traffic accounting. The default (64 bytes) models a small control
+    /// message with headers.
+    fn size_bytes(&self) -> usize {
+        64
+    }
+}
+
+impl MessageKind for u32 {
+    fn kind(&self) -> &'static str {
+        "u32"
+    }
+
+    fn size_bytes(&self) -> usize {
+        4
+    }
+}
+
+/// The sending half handed to an agent during its round.
+///
+/// Collects outgoing envelopes; the engine delivers them at the start of
+/// the *next* round (synchronous-round semantics, as in the paper's
+/// iteration structure).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    from: Address,
+    staged: Vec<Envelope<M>>,
+}
+
+impl<M> Outbox<M> {
+    pub(crate) fn new(from: Address) -> Self {
+        Self {
+            from,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Stages a message for delivery next round.
+    pub fn send(&mut self, to: Address, msg: M) {
+        self.staged.push(Envelope {
+            from: self.from,
+            to,
+            msg,
+        });
+    }
+
+    /// Number of messages staged so far this round.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    pub(crate) fn into_staged(self) -> Vec<Envelope<M>> {
+        self.staged
+    }
+}
+
+/// A protocol participant driven by the [`RoundEngine`].
+///
+/// [`RoundEngine`]: crate::RoundEngine
+pub trait Agent<M> {
+    /// The address this agent receives messages at.
+    fn address(&self) -> Address;
+
+    /// Processes one synchronous round.
+    ///
+    /// `inbox` contains every message addressed to this agent that was sent
+    /// in the previous round, sorted by sender address for determinism.
+    /// Messages staged on `out` are delivered next round.
+    fn on_round(&mut self, inbox: &[Envelope<M>], out: &mut Outbox<M>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_display_and_ordering() {
+        assert_eq!(Address::Ue(UeId::new(3)).to_string(), "ue3");
+        assert_eq!(Address::Bs(BsId::new(1)).to_string(), "bs1");
+        assert_eq!(Address::Cloud.to_string(), "cloud");
+        // UEs sort before BSs before Cloud (enum order) — the delivery
+        // order contract.
+        assert!(Address::Ue(UeId::new(999)) < Address::Bs(BsId::new(0)));
+        assert!(Address::Bs(BsId::new(999)) < Address::Cloud);
+    }
+
+    #[test]
+    fn outbox_stamps_sender() {
+        let mut out: Outbox<u32> = Outbox::new(Address::Ue(UeId::new(7)));
+        out.send(Address::Bs(BsId::new(2)), 42);
+        assert_eq!(out.staged_len(), 1);
+        let staged = out.into_staged();
+        assert_eq!(staged[0].from, Address::Ue(UeId::new(7)));
+        assert_eq!(staged[0].to, Address::Bs(BsId::new(2)));
+        assert_eq!(staged[0].msg, 42);
+    }
+}

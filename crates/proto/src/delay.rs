@@ -1,0 +1,100 @@
+//! Message-delivery delay models.
+//!
+//! The synchronous-round engine normally delivers every message in the
+//! next round. Real control channels add latency; a [`DelayModel`] lets a
+//! message take several rounds to arrive, which exercises the protocol's
+//! retry/timeout logic (a UE that waits too long re-sends its proposal)
+//! and its tolerance to stale resource views.
+
+use dmra_geo::rng::component_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many extra rounds a message spends in flight.
+#[derive(Debug, Clone, Default)]
+pub enum DelayModel {
+    /// Deliver next round (the default synchronous behaviour).
+    #[default]
+    Immediate,
+    /// Every message takes `1 + extra` rounds to arrive.
+    Fixed {
+        /// Extra in-flight rounds beyond the synchronous one.
+        extra: u32,
+    },
+    /// Each message independently takes `1 + U{0..=max_extra}` rounds.
+    Random {
+        /// Maximum extra rounds.
+        max_extra: u32,
+        /// Seed for the per-message draws.
+        seed: u64,
+    },
+}
+
+impl DelayModel {
+    /// Returns the per-message extra delay sampler.
+    pub(crate) fn sampler(&self) -> DelaySampler {
+        match *self {
+            DelayModel::Immediate => DelaySampler::Constant(0),
+            DelayModel::Fixed { extra } => DelaySampler::Constant(extra),
+            DelayModel::Random { max_extra, seed } => {
+                DelaySampler::Random(max_extra, Box::new(component_rng(seed, "proto-delay")))
+            }
+        }
+    }
+}
+
+/// Stateful sampler used by the engine.
+#[derive(Debug)]
+pub(crate) enum DelaySampler {
+    Constant(u32),
+    Random(u32, Box<StdRng>),
+}
+
+impl DelaySampler {
+    pub(crate) fn next_extra(&mut self) -> u32 {
+        match self {
+            DelaySampler::Constant(extra) => *extra,
+            DelaySampler::Random(max, rng) => {
+                if *max == 0 {
+                    0
+                } else {
+                    rng.random_range(0..=*max)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_and_fixed_are_constant() {
+        let mut s = DelayModel::Immediate.sampler();
+        assert_eq!(s.next_extra(), 0);
+        let mut s = DelayModel::Fixed { extra: 3 }.sampler();
+        assert_eq!(s.next_extra(), 3);
+        assert_eq!(s.next_extra(), 3);
+    }
+
+    #[test]
+    fn random_is_bounded_and_seeded() {
+        let draws = |seed: u64| -> Vec<u32> {
+            let mut s = DelayModel::Random {
+                max_extra: 4,
+                seed,
+            }
+            .sampler();
+            (0..100).map(|_| s.next_extra()).collect()
+        };
+        let a = draws(7);
+        let b = draws(7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&d| d <= 4));
+        // All values in range should appear over 100 draws.
+        for v in 0..=4u32 {
+            assert!(a.contains(&v), "delay {v} never drawn");
+        }
+    }
+}

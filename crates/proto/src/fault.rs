@@ -1,0 +1,94 @@
+//! Seeded message-loss fault injection.
+
+use dmra_geo::rng::component_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Bernoulli message-drop policy.
+///
+/// Real RAN control channels lose messages; the paper's algorithm is
+/// iterative and self-correcting (an unanswered proposal is simply retried
+/// next round), and the fault-injection tests exercise exactly that claim.
+#[derive(Debug, Clone)]
+pub struct DropPolicy {
+    probability: f64,
+    rng: StdRng,
+}
+
+impl DropPolicy {
+    /// Creates a policy dropping each message independently with the given
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1)`. A probability of 1
+    /// would drop everything and no protocol could make progress.
+    #[must_use]
+    pub fn new(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "drop probability must be in [0, 1), got {probability}"
+        );
+        Self {
+            probability,
+            rng: component_rng(seed, "proto-drop-policy"),
+        }
+    }
+
+    /// A policy that never drops anything.
+    #[must_use]
+    pub fn reliable() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// The configured drop probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Decides the fate of the next message. `true` means *drop*.
+    pub fn should_drop(&mut self) -> bool {
+        self.probability > 0.0 && self.rng.random_bool(self.probability)
+    }
+}
+
+impl Default for DropPolicy {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_never_drops() {
+        let mut p = DropPolicy::reliable();
+        assert!((0..10_000).all(|_| !p.should_drop()));
+    }
+
+    #[test]
+    fn drop_rate_is_near_probability() {
+        let mut p = DropPolicy::new(0.3, 42);
+        let drops = (0..50_000).filter(|_| p.should_drop()).count();
+        let rate = drops as f64 / 50_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = DropPolicy::new(0.5, 7);
+        let mut b = DropPolicy::new(0.5, 7);
+        for _ in 0..100 {
+            assert_eq!(a.should_drop(), b.should_drop());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn probability_one_is_rejected() {
+        let _ = DropPolicy::new(1.0, 0);
+    }
+}

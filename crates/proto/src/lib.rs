@@ -1,0 +1,60 @@
+//! A round-based message-passing substrate for decentralized algorithms.
+//!
+//! The paper specifies DMRA as a protocol: in each iteration UEs send
+//! service requests, BSs select winners and broadcast their remaining
+//! resources, and the loop repeats "until no UE sends a service request".
+//! This crate provides the execution substrate for that style of algorithm:
+//!
+//! * [`Agent`] — a node with an [`Address`] that reacts to its inbox once
+//!   per round and emits messages through an [`Outbox`].
+//! * [`RoundEngine`] — a synchronous-round scheduler with deterministic
+//!   delivery order, quiescence detection (a round in which nobody sends
+//!   terminates the run), per-kind message accounting and optional seeded
+//!   message-drop fault injection.
+//!
+//! The substrate is generic over the message type; `dmra-core` instantiates
+//! it with the DMRA protocol messages, and the engine's [`RunStats`] are how
+//! we report the protocol's communication cost.
+//!
+//! # Examples
+//!
+//! A two-agent ping-pong that quiesces after a fixed number of exchanges:
+//!
+//! ```
+//! use dmra_proto::{Address, Agent, Envelope, Outbox, RoundEngine};
+//! use dmra_types::UeId;
+//!
+//! struct Pinger { me: Address, peer: Address, remaining: u32 }
+//!
+//! impl Agent<u32> for Pinger {
+//!     fn address(&self) -> Address { self.me }
+//!     fn on_round(&mut self, inbox: &[Envelope<u32>], out: &mut Outbox<u32>) {
+//!         let poked = !inbox.is_empty();
+//!         if (poked || self.me == Address::Ue(UeId::new(0))) && self.remaining > 0 {
+//!             self.remaining -= 1;
+//!             out.send(self.peer, self.remaining);
+//!         }
+//!     }
+//! }
+//!
+//! let a = Address::Ue(UeId::new(0));
+//! let b = Address::Ue(UeId::new(1));
+//! let mut engine = RoundEngine::new();
+//! engine.register(Box::new(Pinger { me: a, peer: b, remaining: 3 }));
+//! engine.register(Box::new(Pinger { me: b, peer: a, remaining: 3 }));
+//! let stats = engine.run(100).expect("quiesces");
+//! assert_eq!(stats.messages_sent, 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod delay;
+mod engine;
+mod fault;
+
+pub use agent::{Address, Agent, Envelope, MessageKind, Outbox};
+pub use delay::DelayModel;
+pub use engine::{RoundEngine, RoundTrace, RunStats};
+pub use fault::DropPolicy;

@@ -1,0 +1,148 @@
+//! Distance-dependent path-loss models.
+
+use dmra_types::{Db, Hertz, Meters};
+use serde::{Deserialize, Serialize};
+
+/// Distances below this are clamped before evaluating any model; the
+/// logarithmic formulas diverge to −∞ at zero distance, and sub-meter
+/// UE–BS separations are outside every model's validity range anyway.
+const MIN_DISTANCE_M: f64 = 1.0;
+
+/// A distance → attenuation model for the uplink channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PathLossModel {
+    /// The paper's Eq. (18): `PL(d) = 140.7 + 36.7·log10(d_km)` dB — the
+    /// 3GPP TR 36.814 NLOS pico/micro urban model.
+    Icdcs2019,
+    /// Generic log-distance model:
+    /// `PL(d) = ref_loss + 10·n·log10(d / ref_distance)` dB.
+    LogDistance {
+        /// Loss at the reference distance, in dB.
+        ref_loss: Db,
+        /// Reference distance, in meters (must be positive).
+        ref_distance: Meters,
+        /// Path-loss exponent `n` (2 = free space, 3–4 = urban).
+        exponent: f64,
+    },
+    /// Free-space path loss at the given carrier frequency:
+    /// `PL(d) = 20·log10(d_m) + 20·log10(f_Hz) − 147.55` dB.
+    FreeSpace {
+        /// Carrier frequency.
+        frequency: Hertz,
+    },
+}
+
+impl PathLossModel {
+    /// Evaluates the attenuation at distance `d`.
+    ///
+    /// Distances under one meter are clamped to one meter; see the module
+    /// constant. The result is always finite for finite inputs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmra_radio::PathLossModel;
+    /// # use dmra_types::Meters;
+    /// // The paper's model at 300 m: 140.7 + 36.7·log10(0.3) ≈ 121.5 dB.
+    /// let pl = PathLossModel::Icdcs2019.loss(Meters::new(300.0));
+    /// assert!((pl.get() - 121.512).abs() < 0.01);
+    /// ```
+    #[must_use]
+    pub fn loss(&self, d: Meters) -> Db {
+        let d_m = d.get().max(MIN_DISTANCE_M);
+        let db = match *self {
+            PathLossModel::Icdcs2019 => 140.7 + 36.7 * (d_m / 1000.0).log10(),
+            PathLossModel::LogDistance {
+                ref_loss,
+                ref_distance,
+                exponent,
+            } => {
+                let d0 = ref_distance.get().max(MIN_DISTANCE_M);
+                ref_loss.get() + 10.0 * exponent * (d_m / d0).log10()
+            }
+            PathLossModel::FreeSpace { frequency } => {
+                20.0 * d_m.log10() + 20.0 * frequency.get().log10() - 147.55
+            }
+        };
+        Db::new(db)
+    }
+}
+
+impl Default for PathLossModel {
+    /// The paper's model.
+    fn default() -> Self {
+        PathLossModel::Icdcs2019
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_model_reference_values() {
+        // At 1 km the log term vanishes.
+        let pl = PathLossModel::Icdcs2019.loss(Meters::new(1000.0));
+        assert!((pl.get() - 140.7).abs() < 1e-9);
+        // At 100 m: 140.7 − 36.7 = 104.0 dB.
+        let pl = PathLossModel::Icdcs2019.loss(Meters::new(100.0));
+        assert!((pl.get() - 104.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_model_is_monotone_in_distance() {
+        let m = PathLossModel::Icdcs2019;
+        let mut prev = m.loss(Meters::new(10.0));
+        for d in [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0] {
+            let cur = m.loss(Meters::new(d));
+            assert!(cur > prev, "loss must grow with distance");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_distance_is_clamped_not_infinite() {
+        let pl = PathLossModel::Icdcs2019.loss(Meters::new(0.0));
+        assert!(pl.get().is_finite());
+        assert_eq!(pl, PathLossModel::Icdcs2019.loss(Meters::new(1.0)));
+    }
+
+    #[test]
+    fn log_distance_matches_hand_computation() {
+        let m = PathLossModel::LogDistance {
+            ref_loss: Db::new(60.0),
+            ref_distance: Meters::new(10.0),
+            exponent: 3.0,
+        };
+        // d = 100 m: 60 + 30·log10(10) = 90 dB.
+        assert!((m.loss(Meters::new(100.0)).get() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_space_at_1ghz_1m() {
+        let m = PathLossModel::FreeSpace {
+            frequency: Hertz::from_mhz(1000.0),
+        };
+        // FSPL(1 m, 1 GHz) = 20·log10(1e9) − 147.55 ≈ 32.45 dB.
+        assert!((m.loss(Meters::new(1.0)).get() - 32.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn default_is_paper_model() {
+        assert_eq!(PathLossModel::default(), PathLossModel::Icdcs2019);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_loss_finite_and_monotone(d1 in 1.0f64..5000.0, d2 in 1.0f64..5000.0) {
+            let m = PathLossModel::Icdcs2019;
+            let (l1, l2) = (m.loss(Meters::new(d1)), m.loss(Meters::new(d2)));
+            prop_assert!(l1.get().is_finite() && l2.get().is_finite());
+            if d1 < d2 {
+                prop_assert!(l1 <= l2);
+            }
+        }
+    }
+}

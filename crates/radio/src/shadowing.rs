@@ -1,0 +1,146 @@
+//! Deterministic log-normal shadowing.
+//!
+//! Shadow fading adds a zero-mean Gaussian (in dB) to the path loss. The
+//! paper's evaluation does not enable shadowing, but real 3GPP calibration
+//! does, so we support it as an extension (an ablation bench measures its
+//! effect on the figures). To keep link evaluation order-independent and
+//! reproducible, the Gaussian is *derived from the link itself*: the draw is
+//! a pure function of `(seed, endpoint coordinates)`.
+
+use dmra_geo::rng::splitmix64;
+use dmra_types::{Db, Point};
+use serde::{Deserialize, Serialize};
+
+/// Shadow-fading configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Shadowing {
+    /// No shadowing — the paper's setting.
+    #[default]
+    Off,
+    /// Log-normal shadowing with the given standard deviation in dB.
+    LogNormal {
+        /// Standard deviation of the dB-domain Gaussian (3GPP uses 4–10 dB).
+        std_dev: Db,
+        /// Seed making the fading field reproducible.
+        seed: u64,
+    },
+}
+
+impl Shadowing {
+    /// Returns the shadowing term for the link between `a` and `b`, in dB.
+    ///
+    /// The value is symmetric in its endpoints and deterministic: the same
+    /// link always fades identically within one configuration.
+    #[must_use]
+    pub fn sample(&self, a: Point, b: Point) -> Db {
+        match *self {
+            Shadowing::Off => Db::new(0.0),
+            Shadowing::LogNormal { std_dev, seed } => {
+                let h = link_hash(seed, a, b);
+                Db::new(gaussian_from_bits(h) * std_dev.get())
+            }
+        }
+    }
+}
+
+/// Hashes the (unordered) link endpoints with the seed.
+fn link_hash(seed: u64, a: Point, b: Point) -> u64 {
+    // Order-independence: fold the two endpoint hashes with XOR.
+    let ha = point_hash(seed, a);
+    let hb = point_hash(seed, b);
+    splitmix64(ha ^ hb)
+}
+
+fn point_hash(seed: u64, p: Point) -> u64 {
+    let mut h = splitmix64(seed);
+    h = splitmix64(h ^ p.x.to_bits());
+    splitmix64(h ^ p.y.to_bits())
+}
+
+/// Converts 64 random bits to a standard-normal draw (Box–Muller on the two
+/// 32-bit halves).
+fn gaussian_from_bits(bits: u64) -> f64 {
+    let hi = (bits >> 32) as u32;
+    let lo = bits as u32;
+    // Map to (0, 1]: add 1 so u1 is never zero.
+    let u1 = (f64::from(hi) + 1.0) / (f64::from(u32::MAX) + 1.0);
+    let u2 = f64::from(lo) / (f64::from(u32::MAX) + 1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Point = Point::new(10.0, 20.0);
+    const B: Point = Point::new(300.0, 400.0);
+
+    #[test]
+    fn off_is_zero() {
+        assert_eq!(Shadowing::Off.sample(A, B), Db::new(0.0));
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let s = Shadowing::LogNormal {
+            std_dev: Db::new(8.0),
+            seed: 7,
+        };
+        assert_eq!(s.sample(A, B), s.sample(A, B));
+    }
+
+    #[test]
+    fn sample_is_symmetric_in_endpoints() {
+        let s = Shadowing::LogNormal {
+            std_dev: Db::new(8.0),
+            seed: 7,
+        };
+        assert_eq!(s.sample(A, B), s.sample(B, A));
+    }
+
+    #[test]
+    fn different_links_fade_differently() {
+        let s = Shadowing::LogNormal {
+            std_dev: Db::new(8.0),
+            seed: 7,
+        };
+        let other = Point::new(301.0, 400.0);
+        assert_ne!(s.sample(A, B), s.sample(A, other));
+    }
+
+    #[test]
+    fn different_seeds_fade_differently() {
+        let s1 = Shadowing::LogNormal {
+            std_dev: Db::new(8.0),
+            seed: 7,
+        };
+        let s2 = Shadowing::LogNormal {
+            std_dev: Db::new(8.0),
+            seed: 8,
+        };
+        assert_ne!(s1.sample(A, B), s2.sample(A, B));
+    }
+
+    #[test]
+    fn empirical_moments_are_plausible() {
+        let s = Shadowing::LogNormal {
+            std_dev: Db::new(8.0),
+            seed: 3,
+        };
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| {
+                let p = Point::new(f64::from(i), 0.0);
+                s.sample(p, B).get()
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(n);
+        assert!(mean.abs() < 0.3, "mean {mean} should be near 0");
+        assert!(
+            (var.sqrt() - 8.0).abs() < 0.3,
+            "std {} should be near 8",
+            var.sqrt()
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Online (dynamic) simulation: UEs arrive, hold resources, and depart.
+//!
+//! Section V of the paper motivates DMRA's decentralized design with the
+//! observation that "the best association changes over time" and each SP
+//! must "adjust its resource allocation strategy in real time". This
+//! module exercises exactly that regime:
+//!
+//! * tasks arrive as a Poisson process (`arrival_rate` per epoch),
+//! * each admitted task holds its CRUs and RRBs for a geometrically
+//!   distributed number of epochs (`mean_holding`),
+//! * at every epoch the batch of *new* arrivals is matched by a fresh DMRA
+//!   run against the BSs' *currently remaining* resources (existing
+//!   assignments are never migrated — admitted tasks keep their BS until
+//!   they complete, as in the paper's one-BS-per-task model).
+//!
+//! The per-epoch matching reuses the static machinery: an epoch instance
+//! is built whose BS budgets are the remaining capacities, so all static
+//! invariants (constraint validation, non-wastefulness) apply verbatim.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+//! use dmra_sim::ScenarioConfig;
+//!
+//! let config = DynamicConfig {
+//!     scenario: ScenarioConfig::paper_defaults(),
+//!     arrival_rate: 20.0,
+//!     mean_holding: 5.0,
+//!     epochs: 30,
+//!     seed: 7,
+//! };
+//! let outcome = DynamicSimulator::new(config).run()?;
+//! assert_eq!(
+//!     outcome.arrivals,
+//!     outcome.admitted + outcome.cloud_forwarded
+//! );
+//! # Ok::<(), dmra_types::Error>(())
+//! ```
+
+use crate::config::ScenarioConfig;
+use dmra_core::{Allocator, Dmra};
+use std::fmt;
+use dmra_geo::rng::component_rng;
+use dmra_types::{
+    BitsPerSec, BsId, BsSpec, Cru, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration of an online run.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// The static deployment (SPs, BSs, radio, pricing) and the workload
+    /// *distributions* (demand ranges); its `n_ues` field is ignored.
+    pub scenario: ScenarioConfig,
+    /// Mean number of task arrivals per epoch (Poisson).
+    pub arrival_rate: f64,
+    /// Mean task duration in epochs (geometric holding time, ≥ 1).
+    pub mean_holding: f64,
+    /// Number of epochs to simulate.
+    pub epochs: usize,
+    /// Seed for arrivals, workloads and holding times.
+    pub seed: u64,
+}
+
+/// Aggregate results of an online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicOutcome {
+    /// Total task arrivals over the horizon.
+    pub arrivals: u64,
+    /// Tasks admitted to an edge BS.
+    pub admitted: u64,
+    /// Tasks forwarded to the remote cloud on arrival.
+    pub cloud_forwarded: u64,
+    /// Tasks that completed (departed) within the horizon.
+    pub completed: u64,
+    /// Sum over epochs of the MEC-layer profit *rate* (each admitted task
+    /// contributes its one-shot Eq. (5) profit once, at admission).
+    pub total_profit: Money,
+    /// Per-epoch mean RRB occupancy across BSs (0–1), for steady-state
+    /// inspection.
+    pub rrb_occupancy: Vec<f64>,
+    /// Per-epoch number of tasks in service at epoch end.
+    pub in_service: Vec<usize>,
+}
+
+impl DynamicOutcome {
+    /// Fraction of arrivals admitted at the edge.
+    #[must_use]
+    pub fn admission_ratio(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        self.admitted as f64 / self.arrivals as f64
+    }
+
+    /// Mean RRB occupancy over the second half of the horizon (a crude
+    /// steady-state estimate).
+    #[must_use]
+    pub fn steady_state_occupancy(&self) -> f64 {
+        let half = &self.rrb_occupancy[self.rrb_occupancy.len() / 2..];
+        if half.is_empty() {
+            return 0.0;
+        }
+        half.iter().sum::<f64>() / half.len() as f64
+    }
+}
+
+/// A task currently holding resources.
+#[derive(Debug, Clone, Copy)]
+struct ActiveTask {
+    bs: BsId,
+    service: ServiceId,
+    cru: Cru,
+    rrbs: RrbCount,
+    departs_at: usize,
+}
+
+/// The online simulator.
+pub struct DynamicSimulator {
+    config: DynamicConfig,
+    allocator: Box<dyn Allocator>,
+}
+
+impl fmt::Debug for DynamicSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynamicSimulator")
+            .field("config", &self.config)
+            .field("allocator", &self.allocator.name())
+            .finish()
+    }
+}
+
+impl DynamicSimulator {
+    /// Creates a simulator matching each epoch's arrivals with DMRA.
+    #[must_use]
+    pub fn new(config: DynamicConfig) -> Self {
+        Self::with_allocator(config, Box::new(Dmra::default()))
+    }
+
+    /// Creates a simulator using a custom allocator for the per-epoch
+    /// matching — lets the online regime compare algorithms on identical
+    /// arrival traces (same seed ⇒ same arrivals, positions, demands and
+    /// holding times regardless of the allocator).
+    #[must_use]
+    pub fn with_allocator(config: DynamicConfig, allocator: Box<dyn Allocator>) -> Self {
+        Self { config, allocator }
+    }
+
+    /// Runs the simulation to the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario/instance build errors (e.g. invalid pricing).
+    pub fn run(&self) -> Result<DynamicOutcome> {
+        let cfg = &self.config;
+        // The static deployment: build once with zero UEs to get validated
+        // SPs/BSs, then treat its BS budgets as the capacity baseline.
+        let deployment = cfg.scenario.clone().with_ues(0).with_seed(cfg.seed).build()?;
+        let base_bss: Vec<BsSpec> = deployment.bss().to_vec();
+
+        let mut rem_cru: Vec<Vec<Cru>> = base_bss.iter().map(|b| b.cru_budget.clone()).collect();
+        let mut rem_rrb: Vec<RrbCount> = base_bss.iter().map(|b| b.rrb_budget).collect();
+        let total_rrb: f64 = base_bss.iter().map(|b| b.rrb_budget.as_f64()).sum();
+
+        let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
+        let mut active: Vec<ActiveTask> = Vec::new();
+        let mut outcome = DynamicOutcome {
+            arrivals: 0,
+            admitted: 0,
+            cloud_forwarded: 0,
+            completed: 0,
+            total_profit: Money::new(0.0),
+            rrb_occupancy: Vec::with_capacity(cfg.epochs),
+            in_service: Vec::with_capacity(cfg.epochs),
+        };
+
+        for epoch in 0..cfg.epochs {
+            // 1. Departures release their resources.
+            let before = active.len();
+            active.retain(|t| {
+                if t.departs_at <= epoch {
+                    rem_cru[t.bs.as_usize()][t.service.as_usize()] += t.cru;
+                    rem_rrb[t.bs.as_usize()] += t.rrbs;
+                    false
+                } else {
+                    true
+                }
+            });
+            outcome.completed += (before - active.len()) as u64;
+
+            // 2. New arrivals this epoch.
+            let n_new = poisson(cfg.arrival_rate, &mut rng);
+            outcome.arrivals += n_new as u64;
+            if n_new > 0 {
+                let ues = self.draw_arrivals(n_new, &mut rng);
+                // Draw holding times for *every* arrival up front so the
+                // workload trace is identical across allocators (admission
+                // decisions must not perturb the RNG stream).
+                let holdings: Vec<usize> = (0..n_new)
+                    .map(|_| geometric(cfg.mean_holding, &mut rng))
+                    .collect();
+                // 3. Build the epoch instance: same BSs, *remaining* budgets.
+                let instance = deployment.residual(&rem_cru, &rem_rrb, ues)?;
+                // 4. Match the batch and commit admissions.
+                let allocation = self.allocator.allocate(&instance);
+                debug_assert!(allocation.validate(&instance).is_ok());
+                outcome.total_profit += instance.total_profit(&allocation);
+                for (ue, bs) in allocation.edge_pairs() {
+                    let spec = &instance.ues()[ue.as_usize()];
+                    let link = instance.link(ue, bs).expect("candidate");
+                    rem_cru[bs.as_usize()][spec.service.as_usize()] -= spec.cru_demand;
+                    rem_rrb[bs.as_usize()] -= link.n_rrbs;
+                    active.push(ActiveTask {
+                        bs,
+                        service: spec.service,
+                        cru: spec.cru_demand,
+                        rrbs: link.n_rrbs,
+                        departs_at: epoch + 1 + holdings[ue.as_usize()],
+                    });
+                    outcome.admitted += 1;
+                }
+                outcome.cloud_forwarded += allocation.cloud_ues().count() as u64;
+            }
+
+            let used: f64 = total_rrb - rem_rrb.iter().map(|r| r.as_f64()).sum::<f64>();
+            outcome.rrb_occupancy.push(if total_rrb > 0.0 {
+                used / total_rrb
+            } else {
+                0.0
+            });
+            outcome.in_service.push(active.len());
+        }
+        Ok(outcome)
+    }
+
+    /// Draws one epoch's arrival batch from the scenario's workload
+    /// distributions (dense fresh ids — each epoch instance is standalone).
+    fn draw_arrivals(&self, n: usize, rng: &mut StdRng) -> Vec<UeSpec> {
+        let cfg = &self.config.scenario;
+        let (dlo, dhi) = cfg.cru_demand_range;
+        let (rlo, rhi) = cfg.rate_demand_mbps;
+        (0..n)
+            .map(|u| {
+                UeSpec::new(
+                    UeId::new(u as u32),
+                    SpId::new(rng.random_range(0..cfg.n_sps)),
+                    dmra_types::Point::new(
+                        rng.random_range(cfg.region.min.x..=cfg.region.max.x),
+                        rng.random_range(cfg.region.min.y..=cfg.region.max.y),
+                    ),
+                    ServiceId::new(rng.random_range(0..cfg.n_services)),
+                    Cru::new(rng.random_range(dlo..=dhi)),
+                    BitsPerSec::from_mbps(rng.random_range(rlo..=rhi)),
+                    cfg.ue_tx_power,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Poisson sample via Knuth's product method (λ is small per epoch).
+fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Guard against pathological λ: cap at 100× the mean.
+        if k as f64 > 100.0 * lambda + 100.0 {
+            return k;
+        }
+    }
+}
+
+/// Geometric holding time with the given mean (in epochs, ≥ 0 extra
+/// epochs beyond the first).
+fn geometric<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    let mean = mean.max(1.0);
+    let p = 1.0 / mean;
+    let mut k = 0usize;
+    while rng.random_range(0.0..1.0) > p {
+        k += 1;
+        if k > 10_000 {
+            break;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(rate: f64, seed: u64) -> DynamicConfig {
+        DynamicConfig {
+            scenario: ScenarioConfig::paper_defaults(),
+            arrival_rate: rate,
+            mean_holding: 4.0,
+            epochs: 40,
+            seed,
+        }
+    }
+
+    #[test]
+    fn conservation_of_tasks() {
+        let out = DynamicSimulator::new(base_config(15.0, 1)).run().unwrap();
+        assert_eq!(out.arrivals, out.admitted + out.cloud_forwarded);
+        // Whatever is neither completed nor in service at the end was
+        // forwarded to the cloud.
+        let in_service_end = *out.in_service.last().unwrap() as u64;
+        assert_eq!(out.admitted, out.completed + in_service_end);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = DynamicSimulator::new(base_config(10.0, 7)).run().unwrap();
+        let b = DynamicSimulator::new(base_config(10.0, 7)).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn light_load_admits_nearly_everything() {
+        let out = DynamicSimulator::new(base_config(5.0, 3)).run().unwrap();
+        // At ~5 arrivals/epoch × 4-epoch holding ≈ 20 concurrent tasks on
+        // 25 BSs, only coverage gaps cause cloud forwards.
+        assert!(
+            out.admission_ratio() > 0.9,
+            "admission ratio {}",
+            out.admission_ratio()
+        );
+    }
+
+    #[test]
+    fn heavier_load_increases_blocking_and_occupancy() {
+        // Offered load: rate × mean holding (≈ 4 epochs). Capacity is
+        // ≈ 880 concurrent tasks, so 10/epoch is uncongested and
+        // 400/epoch (≈ 1600 concurrent offered) saturates the network.
+        let light = DynamicSimulator::new(base_config(10.0, 11)).run().unwrap();
+        let heavy = DynamicSimulator::new(base_config(400.0, 11)).run().unwrap();
+        assert!(heavy.admission_ratio() < light.admission_ratio());
+        assert!(heavy.steady_state_occupancy() > light.steady_state_occupancy());
+        assert!(heavy.steady_state_occupancy() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn occupancy_returns_to_zero_after_drain() {
+        // Arrivals only in the first epochs (rate 0 later is not
+        // expressible with a single rate, so use a short horizon and
+        // verify monotone drain by construction: run long with tiny rate).
+        let cfg = DynamicConfig {
+            scenario: ScenarioConfig::paper_defaults(),
+            arrival_rate: 0.0,
+            mean_holding: 2.0,
+            epochs: 10,
+            seed: 5,
+        };
+        let out = DynamicSimulator::new(cfg).run().unwrap();
+        assert_eq!(out.arrivals, 0);
+        assert!(out.rrb_occupancy.iter().all(|&o| o == 0.0));
+    }
+
+    #[test]
+    fn identical_arrival_traces_across_allocators() {
+        // The workload stream must not depend on the allocator: arrivals
+        // and totals line up between a DMRA run and a CloudOnly run.
+        let dmra_run = DynamicSimulator::new(base_config(15.0, 21)).run().unwrap();
+        let cloud_run = DynamicSimulator::with_allocator(
+            base_config(15.0, 21),
+            Box::new(dmra_baselines::CloudOnly::default()),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(dmra_run.arrivals, cloud_run.arrivals);
+        assert_eq!(cloud_run.admitted, 0);
+        assert_eq!(cloud_run.cloud_forwarded, cloud_run.arrivals);
+    }
+
+    #[test]
+    fn dmra_admits_at_least_as_much_profit_as_nonco_online() {
+        let dmra_run = DynamicSimulator::new(base_config(60.0, 22)).run().unwrap();
+        let nonco_run = DynamicSimulator::with_allocator(
+            base_config(60.0, 22),
+            Box::new(dmra_baselines::NonCo::default()),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(dmra_run.arrivals, nonco_run.arrivals);
+        assert!(
+            dmra_run.total_profit.get() > nonco_run.total_profit.get(),
+            "dmra {} vs nonco {}",
+            dmra_run.total_profit,
+            nonco_run.total_profit
+        );
+    }
+
+    #[test]
+    fn profit_accumulates_with_admissions() {
+        let out = DynamicSimulator::new(base_config(20.0, 9)).run().unwrap();
+        assert!(out.admitted > 0);
+        assert!(out.total_profit.get() > 0.0);
+    }
+}

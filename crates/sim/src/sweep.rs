@@ -1,0 +1,472 @@
+//! Parameter sweeps with seed replication, and the tables they produce.
+
+use crate::config::ScenarioConfig;
+use crate::metrics::Metrics;
+use dmra_core::{Allocation, Allocator, ProblemInstance};
+use dmra_types::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean and spread of a set of replicated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (zero for a single sample).
+    pub std_dev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stat {
+    /// Computes mean and sample standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std_dev = if n > 1 {
+            let var =
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Self { mean, std_dev, n }
+    }
+}
+
+impl fmt::Display for Stat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std_dev)
+    }
+}
+
+/// One row of a sweep table: the x value and one [`Stat`] per series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// The sweep parameter value (number of UEs, ρ, …).
+    pub x: f64,
+    /// One aggregated measurement per series, in series order.
+    pub values: Vec<Stat>,
+}
+
+/// A figure's data: a titled table with one series per algorithm/metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title, e.g. `"Fig. 2: total profit vs #UEs (ι = 2, regular)"`.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Label of each series (column), e.g. `["DMRA", "DCSP", "NonCo"]`.
+    pub series_labels: Vec<String>,
+    /// Rows in ascending x order.
+    pub rows: Vec<TableRow>,
+}
+
+impl Table {
+    /// The `(x, mean)` points of one series, by label.
+    #[must_use]
+    pub fn series(&self, label: &str) -> Option<Vec<(f64, f64)>> {
+        let idx = self.series_labels.iter().position(|l| l == label)?;
+        Some(
+            self.rows
+                .iter()
+                .map(|r| (r.x, r.values[idx].mean))
+                .collect(),
+        )
+    }
+
+    /// Renders a GitHub-flavoured markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |", self.x_label));
+        for label in &self.series_labels {
+            out.push_str(&format!(" {label} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series_labels {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("| {} |", trim_float(row.x)));
+            for v in &row.values {
+                out.push_str(&format!(" {v} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV with `mean` and `std` columns per series.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(&self.x_label.replace(' ', "_"));
+        for label in &self.series_labels {
+            let slug = label.replace(' ', "_");
+            out.push_str(&format!(",{slug}_mean,{slug}_std"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&trim_float(row.x));
+            for v in &row.values {
+                out.push_str(&format!(",{},{}", v.mean, v.std_dev));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Renders a self-contained gnuplot script that plots every series
+    /// with error bars from the matching CSV file (written next to the
+    /// script by the `figures` binary).
+    #[must_use]
+    pub fn to_gnuplot(&self, csv_filename: &str) -> String {
+        let mut out = String::new();
+        out.push_str("set datafile separator ','\n");
+        out.push_str(&format!(
+            "set title \"{}\"\n",
+            self.title.replace('"', "'")
+        ));
+        out.push_str(&format!("set xlabel \"{}\"\n", self.x_label));
+        out.push_str("set key left top\nset grid\n");
+        out.push_str("plot ");
+        let parts: Vec<String> = self
+            .series_labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                // Column 1 is x; each series contributes (mean, std).
+                let mean_col = 2 + 2 * i;
+                let std_col = mean_col + 1;
+                format!(
+                    "'{csv_filename}' skip 1 using 1:{mean_col}:{std_col} \
+                     with yerrorlines title \"{label}\""
+                )
+            })
+            .collect();
+        out.push_str(&parts.join(", \\\n     "));
+        out.push('\n');
+        out
+    }
+
+    /// Renders each series as a unicode sparkline (mean values scaled to
+    /// the series' own min–max), for at-a-glance terminal output.
+    #[must_use]
+    pub fn to_sparklines(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let mut out = String::new();
+        let width = self
+            .series_labels
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(0);
+        for (i, label) in self.series_labels.iter().enumerate() {
+            let values: Vec<f64> = self.rows.iter().map(|r| r.values[i].mean).collect();
+            let (lo, hi) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let spark: String = values
+                .iter()
+                .map(|&v| {
+                    if hi <= lo {
+                        BARS[0]
+                    } else {
+                        let t = (v - lo) / (hi - lo);
+                        BARS[((t * 7.0).round() as usize).min(7)]
+                    }
+                })
+                .collect();
+            out.push_str(&format!("{label:<width$}  {spark}  [{lo:.1} .. {hi:.1}]\n"));
+        }
+        out
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Runs algorithm sweeps with seed replication.
+///
+/// Every algorithm sees the *same* instances (paired comparison), and each
+/// replication uses an independent derived seed, so tables are
+/// reproducible and differences between series are not placement noise.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    /// Instances drawn per sweep point (mean/std aggregate over these).
+    pub replications: u32,
+    /// Base seed; replication `r` of point `p` uses `base_seed` mixed with
+    /// `(p, r)`.
+    pub base_seed: u64,
+}
+
+impl SweepRunner {
+    /// A runner with the given replication count and base seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications` is zero.
+    #[must_use]
+    pub fn new(replications: u32, base_seed: u64) -> Self {
+        assert!(replications > 0, "need at least one replication");
+        Self {
+            replications,
+            base_seed,
+        }
+    }
+
+    /// Runs `algorithms` over `points` and aggregates
+    /// `metric(instance, allocation)` per (point, algorithm).
+    ///
+    /// `points` pairs each x value with the scenario to draw (the seed
+    /// field of the supplied config is overridden per replication).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario build errors.
+    pub fn run<F>(
+        &self,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        points: &[(f64, ScenarioConfig)],
+        algorithms: &[&dyn Allocator],
+        metric: F,
+    ) -> Result<Table>
+    where
+        F: Fn(&ProblemInstance, &Allocation) -> f64,
+    {
+        let mut rows = Vec::with_capacity(points.len());
+        for (p_idx, (x, config)) in points.iter().enumerate() {
+            let mut samples: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+            for r in 0..self.replications {
+                let seed = dmra_geo::rng::sub_seed(
+                    self.base_seed,
+                    &format!("sweep-point-{p_idx}-rep-{r}"),
+                );
+                let instance = config.clone().with_seed(seed).build()?;
+                for (a_idx, algo) in algorithms.iter().enumerate() {
+                    let allocation = algo.allocate(&instance);
+                    debug_assert!(allocation.validate(&instance).is_ok());
+                    samples[a_idx].push(metric(&instance, &allocation));
+                }
+            }
+            rows.push(TableRow {
+                x: *x,
+                values: samples.iter().map(|s| Stat::from_samples(s)).collect(),
+            });
+        }
+        Ok(Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            series_labels: algorithms.iter().map(|a| a.name().to_owned()).collect(),
+            rows,
+        })
+    }
+
+    /// Convenience: sweep with total SP profit as the metric (Figs. 2–6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario build errors.
+    pub fn run_profit(
+        &self,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        points: &[(f64, ScenarioConfig)],
+        algorithms: &[&dyn Allocator],
+    ) -> Result<Table> {
+        self.run(title, x_label, points, algorithms, |inst, alloc| {
+            Metrics::compute(inst, alloc).total_profit.get()
+        })
+    }
+
+    /// Convenience: sweep with forwarded traffic load as the metric
+    /// (Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario build errors.
+    pub fn run_forwarded_load(
+        &self,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        points: &[(f64, ScenarioConfig)],
+        algorithms: &[&dyn Allocator],
+    ) -> Result<Table> {
+        self.run(title, x_label, points, algorithms, |inst, alloc| {
+            Metrics::compute(inst, alloc).forwarded_load_mbps
+        })
+    }
+}
+
+impl Default for SweepRunner {
+    /// Five replications, base seed 42 — the setting the committed
+    /// EXPERIMENTS.md numbers use.
+    fn default() -> Self {
+        Self::new(5, 42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmra_baselines::CloudOnly;
+    use dmra_core::Dmra;
+
+    #[test]
+    fn stat_mean_and_std() {
+        let s = Stat::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        let single = Stat::from_samples(&[5.0]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    fn tiny_points() -> Vec<(f64, ScenarioConfig)> {
+        [30usize, 60]
+            .iter()
+            .map(|&n| (n as f64, ScenarioConfig::paper_defaults().with_ues(n)))
+            .collect()
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_point() {
+        let runner = SweepRunner::new(2, 7);
+        let dmra = Dmra::default();
+        let cloud = CloudOnly::default();
+        let algos: Vec<&dyn Allocator> = vec![&dmra, &cloud];
+        let table = runner
+            .run_profit("test", "#UEs", &tiny_points(), &algos)
+            .unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.series_labels, vec!["DMRA", "CloudOnly"]);
+        // CloudOnly earns exactly zero in every cell.
+        for row in &table.rows {
+            assert_eq!(row.values[1].mean, 0.0);
+            assert!(row.values[0].mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let runner = SweepRunner::new(2, 7);
+        let dmra = Dmra::default();
+        let algos: Vec<&dyn Allocator> = vec![&dmra];
+        let a = runner
+            .run_profit("t", "x", &tiny_points(), &algos)
+            .unwrap();
+        let b = runner
+            .run_profit("t", "x", &tiny_points(), &algos)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let table = Table {
+            title: "Fig. X".into(),
+            x_label: "#UEs".into(),
+            series_labels: vec!["DMRA".into()],
+            rows: vec![TableRow {
+                x: 400.0,
+                values: vec![Stat {
+                    mean: 123.4,
+                    std_dev: 5.6,
+                    n: 5,
+                }],
+            }],
+        };
+        let md = table.to_markdown();
+        assert!(md.contains("| 400 |"));
+        assert!(md.contains("123.40 ± 5.60"));
+        let csv = table.to_csv();
+        assert!(csv.starts_with("#UEs,DMRA_mean,DMRA_std"));
+        assert!(csv.contains("400,123.4,5.6"));
+    }
+
+    #[test]
+    fn gnuplot_script_references_every_series() {
+        let table = Table {
+            title: "Fig. X".into(),
+            x_label: "#UEs".into(),
+            series_labels: vec!["DMRA".into(), "DCSP".into()],
+            rows: vec![],
+        };
+        let script = table.to_gnuplot("fig_x.csv");
+        assert!(script.contains("set title \"Fig. X\""));
+        assert!(script.contains("using 1:2:3"));
+        assert!(script.contains("using 1:4:5"));
+        assert!(script.contains("title \"DCSP\""));
+    }
+
+    #[test]
+    fn sparklines_scale_per_series() {
+        let stat = |m: f64| Stat {
+            mean: m,
+            std_dev: 0.0,
+            n: 1,
+        };
+        let table = Table {
+            title: "t".into(),
+            x_label: "x".into(),
+            series_labels: vec!["up".into(), "flat".into()],
+            rows: (0..4)
+                .map(|i| TableRow {
+                    x: f64::from(i),
+                    values: vec![stat(f64::from(i)), stat(5.0)],
+                })
+                .collect(),
+        };
+        let text = table.to_sparklines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('▁') && lines[0].contains('█'));
+        // A constant series renders as the lowest bar throughout.
+        assert!(lines[1].matches('▁').count() == 4);
+        assert!(lines[1].contains("[5.0 .. 5.0]"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let table = Table {
+            title: "t".into(),
+            x_label: "x".into(),
+            series_labels: vec!["A".into(), "B".into()],
+            rows: vec![TableRow {
+                x: 1.0,
+                values: vec![
+                    Stat {
+                        mean: 10.0,
+                        std_dev: 0.0,
+                        n: 1,
+                    },
+                    Stat {
+                        mean: 20.0,
+                        std_dev: 0.0,
+                        n: 1,
+                    },
+                ],
+            }],
+        };
+        assert_eq!(table.series("B"), Some(vec![(1.0, 20.0)]));
+        assert_eq!(table.series("C"), None);
+    }
+}

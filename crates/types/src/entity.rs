@@ -1,0 +1,308 @@
+//! Entity specifications: the static description of SPs, BSs and UEs.
+//!
+//! These are passive, fully-public data structures (the "problem input").
+//! Mutable allocation state (remaining CRUs / RRBs, assignments) lives in
+//! `dmra-core`, never here.
+
+use crate::geom::Point;
+use crate::id::{BsId, ServiceId, SpId, UeId};
+use crate::units::{BitsPerSec, Cru, Dbm, Hertz, Money, RrbCount};
+use serde::{Deserialize, Serialize};
+
+/// The global catalog of service types `S`.
+///
+/// Services are identified by dense indices `0..len`, so the catalog only
+/// needs to know how many there are (the paper uses six).
+///
+/// # Examples
+///
+/// ```
+/// # use dmra_types::ServiceCatalog;
+/// let catalog = ServiceCatalog::new(6);
+/// assert_eq!(catalog.len(), 6);
+/// assert_eq!(catalog.iter().count(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServiceCatalog {
+    len: u32,
+}
+
+impl ServiceCatalog {
+    /// Creates a catalog with `len` service types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero: the model requires at least one service.
+    #[must_use]
+    pub fn new(len: u32) -> Self {
+        assert!(len > 0, "service catalog must contain at least one service");
+        Self { len }
+    }
+
+    /// Number of service types `|S|`.
+    #[must_use]
+    pub const fn len(self) -> u32 {
+        self.len
+    }
+
+    /// Always `false`; kept for API completeness alongside [`len`].
+    ///
+    /// [`len`]: ServiceCatalog::len
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Iterates over all service identifiers.
+    pub fn iter(self) -> impl Iterator<Item = ServiceId> {
+        (0..self.len).map(ServiceId::new)
+    }
+
+    /// Returns `true` if `service` is a member of this catalog.
+    #[must_use]
+    pub const fn contains(self, service: ServiceId) -> bool {
+        service.index() < self.len
+    }
+}
+
+impl Default for ServiceCatalog {
+    /// The paper's default: six services per deployment.
+    fn default() -> Self {
+        Self::new(6)
+    }
+}
+
+/// Static description of a service provider `k ∈ ς`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpSpec {
+    /// The SP's identifier.
+    pub id: SpId,
+    /// `m_k`: the per-CRU price the SP charges its subscribers (Eq. (6)).
+    pub cru_price: Money,
+    /// `m_k^o`: the SP's per-CRU overhead cost of serving a UE (Eq. (8)).
+    pub other_cost: Money,
+}
+
+impl SpSpec {
+    /// Creates an SP specification.
+    #[must_use]
+    pub const fn new(id: SpId, cru_price: Money, other_cost: Money) -> Self {
+        Self {
+            id,
+            cru_price,
+            other_cost,
+        }
+    }
+
+    /// The SP's margin before paying a BS: `m_k − m_k^o`.
+    ///
+    /// Constraint (16) of the paper requires this to strictly exceed any
+    /// BS price `p_{i,u}` the SP may face.
+    #[must_use]
+    pub fn gross_margin(&self) -> Money {
+        self.cru_price - self.other_cost
+    }
+}
+
+/// Static description of a base station / MEC server `i ∈ B`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BsSpec {
+    /// The BS's identifier.
+    pub id: BsId,
+    /// The SP that deployed this BS.
+    pub sp: SpId,
+    /// Location in the simulation plane.
+    pub position: Point,
+    /// `c_{i,j}` for each service `j` (dense, indexed by `ServiceId`).
+    /// A zero entry means the BS does not host the service (`z_{i,j} = 0`).
+    pub cru_budget: Vec<Cru>,
+    /// `W_i`: total uplink bandwidth (the paper uses 10 MHz).
+    pub uplink_bandwidth: Hertz,
+    /// `N_i`: maximum number of RRBs available for offloaded tasks.
+    pub rrb_budget: RrbCount,
+}
+
+impl BsSpec {
+    /// Creates a BS specification.
+    #[must_use]
+    pub fn new(
+        id: BsId,
+        sp: SpId,
+        position: Point,
+        cru_budget: Vec<Cru>,
+        uplink_bandwidth: Hertz,
+        rrb_budget: RrbCount,
+    ) -> Self {
+        Self {
+            id,
+            sp,
+            position,
+            cru_budget,
+            uplink_bandwidth,
+            rrb_budget,
+        }
+    }
+
+    /// `z_{i,j}`: whether this BS hosts `service`.
+    ///
+    /// Services outside the budget vector are treated as not hosted, so a
+    /// BS built against a smaller catalog is still safe to query.
+    #[must_use]
+    pub fn hosts(&self, service: ServiceId) -> bool {
+        self.cru_budget
+            .get(service.as_usize())
+            .is_some_and(|c| !c.is_zero())
+    }
+
+    /// `c_{i,j}`: the CRU budget this BS dedicates to `service`.
+    #[must_use]
+    pub fn cru_budget_for(&self, service: ServiceId) -> Cru {
+        self.cru_budget
+            .get(service.as_usize())
+            .copied()
+            .unwrap_or(Cru::ZERO)
+    }
+
+    /// Iterates over the services this BS hosts.
+    pub fn hosted_services(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        self.cru_budget
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(j, _)| ServiceId::new(j as u32))
+    }
+}
+
+/// Static description of a user equipment `u ∈ U` with one offloading task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeSpec {
+    /// The UE's identifier.
+    pub id: UeId,
+    /// The SP this UE subscribes to (each UE subscribes to exactly one).
+    pub sp: SpId,
+    /// Location in the simulation plane.
+    pub position: Point,
+    /// `j` with `J_{u,j} = 1`: the single service this UE requests.
+    pub service: ServiceId,
+    /// `c_j^u`: CRUs needed to process the offloaded task (paper: 3–5).
+    pub cru_demand: Cru,
+    /// `w_u`: required uplink data rate (paper: 2–6 Mbit/s).
+    pub rate_demand: BitsPerSec,
+    /// Uplink transmit power (paper: 10 dBm).
+    pub tx_power: Dbm,
+}
+
+impl UeSpec {
+    /// Creates a UE specification.
+    #[must_use]
+    pub const fn new(
+        id: UeId,
+        sp: SpId,
+        position: Point,
+        service: ServiceId,
+        cru_demand: Cru,
+        rate_demand: BitsPerSec,
+        tx_power: Dbm,
+    ) -> Self {
+        Self {
+            id,
+            sp,
+            position,
+            service,
+            cru_demand,
+            rate_demand,
+            tx_power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(budget: Vec<u32>) -> BsSpec {
+        BsSpec::new(
+            BsId::new(0),
+            SpId::new(0),
+            Point::new(0.0, 0.0),
+            budget.into_iter().map(Cru::new).collect(),
+            Hertz::from_mhz(10.0),
+            RrbCount::new(55),
+        )
+    }
+
+    #[test]
+    fn catalog_iterates_all_services() {
+        let c = ServiceCatalog::new(3);
+        let ids: Vec<_> = c.iter().collect();
+        assert_eq!(
+            ids,
+            vec![ServiceId::new(0), ServiceId::new(1), ServiceId::new(2)]
+        );
+    }
+
+    #[test]
+    fn catalog_contains_respects_bounds() {
+        let c = ServiceCatalog::new(2);
+        assert!(c.contains(ServiceId::new(1)));
+        assert!(!c.contains(ServiceId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one service")]
+    fn empty_catalog_panics() {
+        let _ = ServiceCatalog::new(0);
+    }
+
+    #[test]
+    fn default_catalog_has_six_services() {
+        assert_eq!(ServiceCatalog::default().len(), 6);
+    }
+
+    #[test]
+    fn bs_hosts_iff_budget_nonzero() {
+        let b = bs(vec![100, 0, 150]);
+        assert!(b.hosts(ServiceId::new(0)));
+        assert!(!b.hosts(ServiceId::new(1)));
+        assert!(b.hosts(ServiceId::new(2)));
+        // Out-of-range services are simply not hosted.
+        assert!(!b.hosts(ServiceId::new(7)));
+    }
+
+    #[test]
+    fn bs_budget_lookup() {
+        let b = bs(vec![100, 0, 150]);
+        assert_eq!(b.cru_budget_for(ServiceId::new(2)), Cru::new(150));
+        assert_eq!(b.cru_budget_for(ServiceId::new(1)), Cru::ZERO);
+        assert_eq!(b.cru_budget_for(ServiceId::new(9)), Cru::ZERO);
+    }
+
+    #[test]
+    fn bs_hosted_services_skips_zero_budgets() {
+        let b = bs(vec![0, 5, 0, 7]);
+        let hosted: Vec<_> = b.hosted_services().collect();
+        assert_eq!(hosted, vec![ServiceId::new(1), ServiceId::new(3)]);
+    }
+
+    #[test]
+    fn sp_gross_margin() {
+        let sp = SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0));
+        assert!((sp.gross_margin().get() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ue_spec_carries_paper_fields() {
+        let ue = UeSpec::new(
+            UeId::new(1),
+            SpId::new(2),
+            Point::new(10.0, 20.0),
+            ServiceId::new(3),
+            Cru::new(4),
+            BitsPerSec::from_mbps(3.0),
+            Dbm::new(10.0),
+        );
+        assert_eq!(ue.sp, SpId::new(2));
+        assert_eq!(ue.cru_demand.get(), 4);
+        assert!((ue.rate_demand.to_mbps() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Plain 2-D geometry data types.
+//!
+//! Only the *data* lives here; placement algorithms and spatial indexing are
+//! in the `dmra-geo` crate. Positions are expressed in meters within the
+//! simulation plane (the paper uses a 1200 m × 1200 m area for random BS
+//! placement and a 300 m inter-site distance grid for regular placement).
+
+use crate::units::Meters;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the simulation plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting coordinate in meters.
+    pub x: f64,
+    /// Northing coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from meter coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point (`d_{i,u}` in the paper).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmra_types::Point;
+    /// let d = Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0));
+    /// assert!((d.get() - 5.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Point) -> Meters {
+        Meters::new((self.x - other.x).hypot(self.y - other.y))
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, used as the deployment region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (inclusive).
+    pub min: Point,
+    /// Maximum corner (inclusive).
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not component-wise ≤ `max`.
+    #[must_use]
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "rectangle min corner must not exceed max corner"
+        );
+        Self { min, max }
+    }
+
+    /// A `side × side` square with its minimum corner at the origin — the
+    /// shape of the paper's random-placement region (1200 m × 1200 m).
+    #[must_use]
+    pub fn square(side: Meters) -> Self {
+        Self::new(Point::new(0.0, 0.0), Point::new(side.get(), side.get()))
+    }
+
+    /// Width along the x axis.
+    #[must_use]
+    pub fn width(&self) -> Meters {
+        Meters::new(self.max.x - self.min.x)
+    }
+
+    /// Height along the y axis.
+    #[must_use]
+    pub fn height(&self) -> Meters {
+        Meters::new(self.max.y - self.min.y)
+    }
+
+    /// Returns `true` if `p` lies inside the rectangle (borders inclusive).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Center of the rectangle.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+impl Default for Rect {
+    /// The paper's default region: a 1200 m × 1200 m square at the origin.
+    fn default() -> Self {
+        Self::square(Meters::new(1200.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert!((a.distance(b).get() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(10.0, -3.0);
+        assert_eq!(p.distance(p).get(), 0.0);
+    }
+
+    #[test]
+    fn square_rect_geometry() {
+        let r = Rect::square(Meters::new(1200.0));
+        assert_eq!(r.width().get(), 1200.0);
+        assert_eq!(r.height().get(), 1200.0);
+        assert_eq!(r.center(), Point::new(600.0, 600.0));
+    }
+
+    #[test]
+    fn contains_is_border_inclusive() {
+        let r = Rect::square(Meters::new(100.0));
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(100.0, 100.0)));
+        assert!(!r.contains(Point::new(100.1, 50.0)));
+        assert!(!r.contains(Point::new(-0.1, 50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangle min corner")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn default_rect_matches_paper_region() {
+        let r = Rect::default();
+        assert_eq!(r.width().get(), 1200.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_symmetry(
+            ax in -2000.0f64..2000.0, ay in -2000.0f64..2000.0,
+            bx in -2000.0f64..2000.0, by in -2000.0f64..2000.0,
+        ) {
+            let (a, b) = (Point::new(ax, ay), Point::new(bx, by));
+            prop_assert!((a.distance(b).get() - b.distance(a).get()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            ax in -1000.0f64..1000.0, ay in -1000.0f64..1000.0,
+            bx in -1000.0f64..1000.0, by in -1000.0f64..1000.0,
+            cx in -1000.0f64..1000.0, cy in -1000.0f64..1000.0,
+        ) {
+            let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+            prop_assert!(
+                a.distance(c).get() <= a.distance(b).get() + b.distance(c).get() + 1e-9
+            );
+        }
+    }
+}

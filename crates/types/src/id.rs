@@ -1,0 +1,128 @@
+//! Typed identifiers for the four entity classes of the system model.
+//!
+//! The paper indexes SPs with `k ∈ ς`, BSs with `i ∈ B`, UEs with `u ∈ U`
+//! and services with `j ∈ S`. Using distinct newtypes prevents the classic
+//! "passed a UE index where a BS index was expected" bug across the
+//! workspace, at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from its raw index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use dmra_types::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.index(), 7);
+            /// ```
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index, usable for dense `Vec` indexing.
+            #[must_use]
+            pub const fn index(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index widened to `usize` for slice indexing.
+            #[must_use]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a service provider (`k ∈ ς` in the paper).
+    SpId,
+    "sp"
+);
+define_id!(
+    /// Identifier of a base station / MEC server (`i ∈ B` in the paper).
+    ///
+    /// The paper uses "BS" and "MEC server" interchangeably; so do we.
+    BsId,
+    "bs"
+);
+define_id!(
+    /// Identifier of a user equipment (`u ∈ U` in the paper).
+    UeId,
+    "ue"
+);
+define_id!(
+    /// Identifier of a service type (`j ∈ S` in the paper).
+    ServiceId,
+    "svc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_entity_prefix() {
+        assert_eq!(SpId::new(2).to_string(), "sp2");
+        assert_eq!(BsId::new(0).to_string(), "bs0");
+        assert_eq!(UeId::new(41).to_string(), "ue41");
+        assert_eq!(ServiceId::new(5).to_string(), "svc5");
+    }
+
+    #[test]
+    fn ids_roundtrip_through_u32() {
+        let id = BsId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.as_usize(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(UeId::new(1) < UeId::new(2));
+        assert_eq!(UeId::new(3), UeId::new(3));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<UeId> = (0..10).map(UeId::new).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn default_is_index_zero() {
+        assert_eq!(SpId::default(), SpId::new(0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Typed identifiers, physical units and entity specifications shared by
+//! every crate of the DMRA reproduction.
+//!
+//! The crate is deliberately free of algorithms: it pins down the vocabulary
+//! of the system model in Section III of the paper — service providers
+//! ([`SpId`]), base stations ([`BsId`]), user equipments ([`UeId`]) and
+//! services ([`ServiceId`]) — together with the physical quantities the
+//! model manipulates (distances, bandwidths, powers, prices, computing and
+//! radio resource units).
+//!
+//! # Examples
+//!
+//! ```
+//! use dmra_types::{BsId, Cru, Dbm, Meters, SpId};
+//!
+//! let sp = SpId::new(0);
+//! let bs = BsId::new(3);
+//! let budget = Cru::new(120);
+//! let demand = Cru::new(4);
+//! assert!(demand <= budget);
+//! assert_eq!((budget - demand).get(), 116);
+//! assert_eq!(format!("{sp}/{bs}"), "sp0/bs3");
+//! let p = Dbm::new(10.0);
+//! assert!((p.to_milliwatts() - 10.0).abs() < 1e-9);
+//! let d = Meters::new(300.0);
+//! assert!((d.to_kilometers() - 0.3).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entity;
+mod error;
+mod geom;
+mod id;
+mod units;
+
+pub use entity::{BsSpec, ServiceCatalog, SpSpec, UeSpec};
+pub use error::{Error, Result};
+pub use geom::{Point, Rect};
+pub use id::{BsId, ServiceId, SpId, UeId};
+pub use units::{BitsPerSec, Cru, Db, Dbm, Hertz, Meters, Money, RrbCount};

@@ -1,0 +1,64 @@
+//! How the (paper-unspecified) coverage radius interacts with the ρ knob.
+//!
+//! The paper never quantifies when a BS "can cover" a UE. The radius
+//! controls the distance spread of a UE's candidates, and with it how much
+//! extra radio a capacity-seeking (high-ρ) proposal can waste. This study
+//! sweeps both knobs to find where Fig. 6/7's claimed trend (more ρ ⇒
+//! fewer cloud forwards) holds.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example coverage_study
+//! ```
+
+use dmra::prelude::*;
+use dmra::sim::UePlacement;
+use dmra_core::{CoverageModel, DmraConfig};
+
+fn main() -> Result<(), dmra::types::Error> {
+    let rhos = [0.0, 50.0, 200.0, 800.0];
+    let radii = [250.0, 350.0, 500.0, 700.0];
+    let replications = 3u64;
+
+    for (label, placement) in [
+        ("uniform", UePlacement::Uniform),
+        (
+            "hotspots",
+            UePlacement::Hotspots {
+                n_hotspots: 4,
+                spread: Meters::new(120.0),
+                fraction: 0.7,
+            },
+        ),
+    ] {
+        println!("== {label} UEs: forwarded load (Mbit/s) by radius × rho ==");
+        print!("{:>8}", "radius");
+        for &rho in &rhos {
+            print!("  rho={rho:<6}");
+        }
+        println!();
+        for &radius in &radii {
+            print!("{radius:>8}");
+            for &rho in &rhos {
+                let mut forwarded = 0.0;
+                for rep in 0..replications {
+                    let mut cfg = ScenarioConfig::paper_defaults()
+                        .with_iota(1.1)
+                        .with_ues(1000)
+                        .with_ue_placement(placement)
+                        .with_seed(2000 + rep);
+                    cfg.coverage = CoverageModel::FixedRadius(Meters::new(radius));
+                    let instance = cfg.build()?;
+                    let dmra = Dmra::new(DmraConfig::paper_defaults().with_rho(rho));
+                    let m = Metrics::compute(&instance, &dmra.allocate(&instance));
+                    forwarded += m.forwarded_load_mbps;
+                }
+                print!("  {:>10.1}", forwarded / replications as f64);
+            }
+            println!();
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Mobility and the handover/profit trade-off.
+//!
+//! As UEs move, the best UE–BS association drifts (the paper's Section V
+//! motivation for a decentralized, re-runnable matcher). This example
+//! compares the two reallocation policies at several speeds:
+//!
+//! * **full** — re-run DMRA on everyone each epoch (maximum profit,
+//!   maximum handover churn);
+//! * **sticky** — keep feasible assignments, re-match only broken ones.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mobility_handover
+//! ```
+
+use dmra::prelude::*;
+use dmra::sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
+
+fn main() -> Result<(), dmra::types::Error> {
+    println!("random-waypoint mobility, 400 UEs, 25 BSs, 20 epochs × 10 s\n");
+    println!(
+        "{:>10} {:>8} | {:>10} {:>10} | {:>12} {:>12}",
+        "speed", "policy", "handovers", "HO rate", "mean profit", "mean served"
+    );
+    for speed in [1.5, 8.0, 25.0] {
+        for (label, policy) in [
+            ("full", MobilityPolicy::FullReallocation),
+            ("sticky", MobilityPolicy::Sticky),
+        ] {
+            let out = MobilitySimulator::new(MobilityConfig {
+                scenario: ScenarioConfig::paper_defaults().with_ues(400),
+                speed_mps: (speed * 0.8, speed * 1.2),
+                epoch_seconds: 10.0,
+                epochs: 20,
+                seed: 77,
+                policy,
+            })
+            .run()?;
+            let mean_profit = out.profit_timeline.iter().map(|p| p.get()).sum::<f64>()
+                / out.profit_timeline.len() as f64;
+            let mean_served = out.served_timeline.iter().sum::<usize>() as f64
+                / out.served_timeline.len() as f64;
+            println!(
+                "{:>8} m/s {:>8} | {:>10} {:>10.4} | {:>12.1} {:>12.1}",
+                speed,
+                label,
+                out.handovers,
+                out.handover_rate(),
+                mean_profit,
+                mean_served
+            );
+        }
+    }
+    println!(
+        "\nsticky trades a little profit for far fewer handovers — the\n\
+         signalling the full policy saves the RAN is the decentralized\n\
+         protocol traffic measured by `dmra protocol`."
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! A heterogeneous multi-SP market built directly against the core API
+//! (no scenario generator): three SPs with different subscriber prices and
+//! deployments, showing how pricing asymmetry shifts per-SP profit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_sp_market
+//! ```
+
+use dmra::prelude::*;
+use dmra::core::CoverageModel;
+use dmra::econ::PricingConfig;
+use dmra::radio::RadioConfig;
+use dmra::types::{BsSpec, ServiceCatalog, SpSpec, UeSpec};
+use dmra_geo::rng::component_rng;
+use rand::Rng;
+
+fn main() -> Result<(), dmra::types::Error> {
+    // Three SPs with different business models: a premium operator
+    // (high subscriber price, dense deployment), a budget operator, and a
+    // mid-tier one. All satisfy constraint (16).
+    let sps = vec![
+        SpSpec::new(SpId::new(0), Money::new(9.5), Money::new(1.0)), // premium
+        SpSpec::new(SpId::new(1), Money::new(7.5), Money::new(0.8)), // budget
+        SpSpec::new(SpId::new(2), Money::new(8.5), Money::new(1.0)), // mid
+    ];
+    let catalog = ServiceCatalog::new(4);
+
+    // Premium deploys 6 BSs, the others 3 each — an uneven market.
+    let mut rng = component_rng(2024, "market");
+    let mut bss = Vec::new();
+    for (sp, count) in [(0u32, 6usize), (1, 3), (2, 3)] {
+        for _ in 0..count {
+            let id = BsId::new(bss.len() as u32);
+            let pos = Point::new(
+                rng.random_range(200.0..1000.0),
+                rng.random_range(200.0..1000.0),
+            );
+            let budgets = (0..catalog.len())
+                .map(|_| Cru::new(rng.random_range(100..=150)))
+                .collect();
+            bss.push(BsSpec::new(
+                id,
+                SpId::new(sp),
+                pos,
+                budgets,
+                Hertz::from_mhz(10.0),
+                RrbCount::new(55),
+            ));
+        }
+    }
+
+    // 300 subscribers, market shares 50% / 30% / 20%.
+    let mut ues = Vec::new();
+    for u in 0..300u32 {
+        let sp = match rng.random_range(0..10) {
+            0..=4 => 0,
+            5..=7 => 1,
+            _ => 2,
+        };
+        ues.push(UeSpec::new(
+            UeId::new(u),
+            SpId::new(sp),
+            Point::new(rng.random_range(0.0..1200.0), rng.random_range(0.0..1200.0)),
+            ServiceId::new(rng.random_range(0..catalog.len())),
+            Cru::new(rng.random_range(3..=5)),
+            BitsPerSec::from_mbps(rng.random_range(2.0..=6.0)),
+            Dbm::new(10.0),
+        ));
+    }
+
+    let instance = dmra::core::ProblemInstance::build(
+        sps,
+        bss,
+        ues,
+        catalog,
+        PricingConfig::paper_defaults(),
+        RadioConfig::paper_defaults(),
+        CoverageModel::FixedRadius(Meters::new(400.0)),
+    )?;
+
+    let allocation = Dmra::default().allocate(&instance);
+    allocation.validate(&instance)?;
+
+    println!("three-SP market under DMRA (premium sp0 / budget sp1 / mid sp2):\n");
+    println!("{}\n", instance.profit_report(&allocation));
+    let m = Metrics::compute(&instance, &allocation);
+    println!("{m}");
+
+    // The premium SP's denser deployment should let it keep more of its
+    // subscribers on its own (cheap) BSs than the budget SP can.
+    let report = instance.profit_report(&allocation);
+    let premium = &report.per_sp[0];
+    println!(
+        "\npremium SP serves {} of its subscribers at the edge;\n\
+         budget SP serves {} — deployment density buys edge capacity.",
+        premium.edge_served, report.per_sp[1].edge_served
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the paper's default scenario, run DMRA and the
+//! baselines on the same instance, and print the headline metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dmra::prelude::*;
+
+fn main() -> Result<(), dmra::types::Error> {
+    // Section VI-A of the paper: 5 SPs × 5 BSs on a 300 m grid, 6 services,
+    // CRU budgets 100–150, demands 3–5 CRUs and 2–6 Mbit/s per task.
+    let instance = ScenarioConfig::paper_defaults()
+        .with_ues(600)
+        .with_seed(42)
+        .build()?;
+
+    println!(
+        "scenario: {} SPs, {} BSs, {} UEs, {} services\n",
+        instance.n_sps(),
+        instance.n_bss(),
+        instance.n_ues(),
+        instance.catalog().len()
+    );
+
+    let algorithms: Vec<Box<dyn Allocator>> = vec![
+        Box::new(Dmra::default()),
+        Box::new(Dcsp::default()),
+        Box::new(NonCo::default()),
+        Box::new(GreedyProfit::default()),
+        Box::new(RandomAllocator::new(42)),
+        Box::new(CloudOnly::default()),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>10} {:>10}",
+        "algorithm", "profit", "served", "cloud", "same-SP", "RRB util"
+    );
+    for algo in &algorithms {
+        let allocation = algo.allocate(&instance);
+        allocation
+            .validate(&instance)
+            .expect("allocators must satisfy the TPM constraints");
+        let m = Metrics::compute(&instance, &allocation);
+        println!(
+            "{:<14} {:>12.1} {:>8} {:>8} {:>9.1}% {:>9.1}%",
+            algo.name(),
+            m.total_profit.get(),
+            m.edge_served,
+            m.cloud_forwarded,
+            m.same_sp_fraction * 100.0,
+            m.rrb_utilization * 100.0
+        );
+    }
+
+    // Per-SP breakdown for the winning scheme.
+    let allocation = Dmra::default().allocate(&instance);
+    println!("\nDMRA per-SP utility breakdown (Eqs. (5)-(8)):");
+    println!("{}", instance.profit_report(&allocation));
+    Ok(())
+}

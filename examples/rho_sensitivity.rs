@@ -1,0 +1,67 @@
+//! Sensitivity of DMRA to the preference weight ρ (Eq. (17)) under
+//! homogeneous vs hotspot workloads — the scenario behind Figs. 6 and 7.
+//!
+//! The ρ term steers UEs toward resource-rich BSs. On a perfectly uniform
+//! workload over a regular grid the load is already balanced, so ρ has
+//! little to gain; when UEs cluster in popular areas (the case the paper's
+//! introduction motivates), capacity-seeking pays off: fewer tasks are
+//! forwarded to the remote cloud and total SP profit rises.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example rho_sensitivity
+//! ```
+
+use dmra::prelude::*;
+use dmra::sim::UePlacement;
+use dmra_core::DmraConfig;
+
+fn main() -> Result<(), dmra::types::Error> {
+    let rhos = [0.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+    let replications = 5u64;
+
+    for (label, placement) in [
+        ("uniform UEs", UePlacement::Uniform),
+        (
+            "hotspot UEs (70% in 4 clusters)",
+            UePlacement::Hotspots {
+                n_hotspots: 4,
+                spread: Meters::new(120.0),
+                fraction: 0.7,
+            },
+        ),
+    ] {
+        println!("== {label} (iota = 1.1, 1000 UEs, regular grid) ==");
+        println!("{:>6} {:>14} {:>20} {:>12}", "rho", "profit", "forwarded (Mbit/s)", "served");
+        for &rho in &rhos {
+            let mut profit = 0.0;
+            let mut forwarded = 0.0;
+            let mut served = 0.0;
+            for rep in 0..replications {
+                let instance = ScenarioConfig::paper_defaults()
+                    .with_iota(1.1)
+                    .with_ues(1000)
+                    .with_ue_placement(placement)
+                    .with_seed(1000 + rep)
+                    .build()?;
+                let dmra = Dmra::new(DmraConfig::paper_defaults().with_rho(rho));
+                let allocation = dmra.allocate(&instance);
+                let m = Metrics::compute(&instance, &allocation);
+                profit += m.total_profit.get();
+                forwarded += m.forwarded_load_mbps;
+                served += m.edge_served as f64;
+            }
+            let n = replications as f64;
+            println!(
+                "{:>6} {:>14.1} {:>20.1} {:>12.1}",
+                rho,
+                profit / n,
+                forwarded / n,
+                served / n
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Workspace-level tests of the online (arrival/departure) regime.
+
+use dmra::prelude::*;
+use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator};
+
+fn config(rate: f64, epochs: usize, seed: u64) -> DynamicConfig {
+    DynamicConfig {
+        scenario: ScenarioConfig::paper_defaults(),
+        arrival_rate: rate,
+        mean_holding: 5.0,
+        epochs,
+        seed,
+    }
+}
+
+#[test]
+fn admission_ratio_decreases_with_offered_load() {
+    let mut previous = f64::INFINITY;
+    for rate in [20.0, 100.0, 300.0, 600.0] {
+        let out = DynamicSimulator::new(config(rate, 60, 3)).run().unwrap();
+        let ratio = out.admission_ratio();
+        assert!(
+            ratio <= previous + 0.02,
+            "admission ratio rose with load: {ratio} after {previous} at rate {rate}"
+        );
+        previous = ratio;
+    }
+    // At 600 arrivals/epoch × 5 epochs holding the network is far beyond
+    // capacity; blocking must be severe.
+    assert!(previous < 0.6, "expected heavy blocking, got {previous}");
+}
+
+#[test]
+fn occupancy_stays_within_physical_bounds() {
+    let out = DynamicSimulator::new(config(500.0, 80, 5)).run().unwrap();
+    for (epoch, &occ) in out.rrb_occupancy.iter().enumerate() {
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&occ),
+            "occupancy {occ} out of bounds at epoch {epoch}"
+        );
+    }
+    // Saturating load should push steady-state occupancy high.
+    assert!(out.steady_state_occupancy() > 0.7);
+}
+
+#[test]
+fn long_run_reaches_a_steady_state() {
+    let out = DynamicSimulator::new(config(100.0, 120, 7)).run().unwrap();
+    // Offered load ≈ 100 × 5 = 500 concurrent vs capacity ≈ 880: the
+    // in-service count should stabilise near the offered load rather than
+    // drift (Little's law sanity check, ±25%).
+    let tail = &out.in_service[out.in_service.len() / 2..];
+    let mean = tail.iter().sum::<usize>() as f64 / tail.len() as f64;
+    assert!(
+        (375.0..=625.0).contains(&mean),
+        "steady-state in-service {mean} far from Little's-law estimate 500"
+    );
+}
+
+#[test]
+fn zero_epochs_is_a_clean_noop() {
+    let out = DynamicSimulator::new(config(50.0, 0, 1)).run().unwrap();
+    assert_eq!(out.arrivals, 0);
+    assert_eq!(out.total_profit.get(), 0.0);
+    assert!(out.rrb_occupancy.is_empty());
+}
+
+#[test]
+fn profit_rate_grows_with_served_tasks() {
+    let light = DynamicSimulator::new(config(20.0, 60, 9)).run().unwrap();
+    let medium = DynamicSimulator::new(config(80.0, 60, 9)).run().unwrap();
+    assert!(medium.admitted > light.admitted);
+    assert!(medium.total_profit > light.total_profit);
+}

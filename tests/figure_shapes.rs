@@ -1,0 +1,215 @@
+//! Shape assertions for every figure of the paper's evaluation — the
+//! claims EXPERIMENTS.md records, kept true by CI.
+//!
+//! Absolute numbers are ours (the paper's price constants are symbolic);
+//! what must hold are the *shapes*: who wins, growth and saturation with
+//! load, monotonicity in ρ. Tolerances absorb replication noise at the
+//! `quick` experiment settings.
+
+use dmra::prelude::*;
+use dmra::sim::experiments::{self, ExperimentOptions};
+use dmra_core::DmraConfig;
+
+fn opts() -> ExperimentOptions {
+    ExperimentOptions {
+        replications: 2,
+        base_seed: 42,
+    }
+}
+
+/// Figs. 2–3 (ι = 2): DMRA earns strictly more than DCSP and NonCo at
+/// every UE count, under both placement styles.
+#[test]
+fn fig2_fig3_dmra_wins_at_iota_2() {
+    for table in [
+        experiments::fig2(&opts()).unwrap(),
+        experiments::fig3(&opts()).unwrap(),
+    ] {
+        let dmra = table.series("DMRA").unwrap();
+        let dcsp = table.series("DCSP").unwrap();
+        let nonco = table.series("NonCo").unwrap();
+        for i in 0..dmra.len() {
+            assert!(
+                dmra[i].1 > dcsp[i].1 && dmra[i].1 > nonco[i].1,
+                "{}: DMRA must lead at x = {} (dmra {}, dcsp {}, nonco {})",
+                table.title,
+                dmra[i].0,
+                dmra[i].1,
+                dcsp[i].1,
+                nonco[i].1
+            );
+        }
+        // And the lead is substantial at ι = 2 (same-SP steering pays).
+        let last = dmra.len() - 1;
+        assert!(
+            dmra[last].1 > 1.1 * dcsp[last].1,
+            "{}: expected ≥10% lead at saturation",
+            table.title
+        );
+    }
+}
+
+/// Figs. 4–5 (ι = 1.1): the three schemes are within a few percent; DMRA
+/// leads below saturation and never beats the best scheme by less than
+/// −5% anywhere (the late DCSP crossover is a documented deviation,
+/// see EXPERIMENTS.md).
+#[test]
+fn fig4_fig5_schemes_are_close_at_iota_1_1() {
+    for table in [
+        experiments::fig4(&opts()).unwrap(),
+        experiments::fig5(&opts()).unwrap(),
+    ] {
+        let dmra = table.series("DMRA").unwrap();
+        let dcsp = table.series("DCSP").unwrap();
+        let nonco = table.series("NonCo").unwrap();
+        for i in 0..dmra.len() {
+            let best = dcsp[i].1.max(nonco[i].1);
+            assert!(
+                dmra[i].1 > 0.95 * best,
+                "{}: DMRA more than 5% behind at x = {}",
+                table.title,
+                dmra[i].0
+            );
+        }
+        // Below saturation (the first half of the sweep) DMRA leads.
+        for i in 0..3 {
+            assert!(
+                dmra[i].1 >= dcsp[i].1.max(nonco[i].1) * 0.999,
+                "{}: DMRA should lead below saturation at x = {}",
+                table.title,
+                dmra[i].0
+            );
+        }
+    }
+}
+
+/// Figs. 2–5: profit grows with the number of UEs within the sweep, and
+/// saturates once the edge capacity (~850–900 served UEs across 25 BSs)
+/// is exhausted — the knee the paper describes as the growth rate
+/// "becoming smaller".
+#[test]
+fn profit_grows_then_saturates_with_load() {
+    let table = experiments::fig2(&opts()).unwrap();
+    let dmra = table.series("DMRA").unwrap();
+    for w in dmra.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "profit must increase with #UEs ({} -> {})",
+            w[0].0,
+            w[1].0
+        );
+    }
+    // Past the capacity knee the marginal profit collapses: measure the
+    // growth per extra UE on 400→700 vs 1200→1500 directly.
+    let profit_at = |n_ues: usize| -> f64 {
+        (0..2u64)
+            .map(|rep| {
+                let instance = ScenarioConfig::paper_defaults()
+                    .with_ues(n_ues)
+                    .with_seed(100 + rep)
+                    .build()
+                    .unwrap();
+                instance
+                    .total_profit(&Dmra::default().allocate(&instance))
+                    .get()
+            })
+            .sum::<f64>()
+            / 2.0
+    };
+    let early_gain = profit_at(700) - profit_at(400);
+    let late_gain = profit_at(1500) - profit_at(1200);
+    assert!(
+        late_gain < 0.5 * early_gain,
+        "expected saturation: early gain {early_gain}, late gain {late_gain}"
+    );
+}
+
+/// Fig. 6: switching the ρ term on (ρ > 0) earns more profit than pure
+/// price preference (ρ = 0) at 1000 UEs.
+#[test]
+fn fig6_rho_on_beats_rho_zero() {
+    let table = experiments::fig6(&opts()).unwrap();
+    let dmra = table.series("DMRA").unwrap();
+    let at_zero = dmra[0].1;
+    let best_positive = dmra[1..]
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best_positive > at_zero,
+        "some ρ > 0 must beat ρ = 0 ({best_positive} vs {at_zero})"
+    );
+}
+
+/// Fig. 7: the ρ term reduces the traffic forwarded to the cloud; ρ = 0
+/// forwards the most.
+#[test]
+fn fig7_rho_reduces_forwarded_load() {
+    let table = experiments::fig7(&opts()).unwrap();
+    let dmra = table.series("DMRA").unwrap();
+    let at_zero = dmra[0].1;
+    for &(rho, v) in &dmra[1..] {
+        assert!(
+            v < at_zero,
+            "forwarded load at rho={rho} ({v}) should be below rho=0 ({at_zero})"
+        );
+    }
+}
+
+/// Ablation: the same-SP preference (line 13) is profitable at ι = 2.
+#[test]
+fn same_sp_preference_pays_at_iota_2() {
+    let table = experiments::ablation_same_sp_preference(&opts()).unwrap();
+    let with_pref = table.series("DMRA").unwrap();
+    let without = table.series("DMRA (no same-SP preference)").unwrap();
+    let total_with: f64 = with_pref.iter().map(|&(_, v)| v).sum();
+    let total_without: f64 = without.iter().map(|&(_, v)| v).sum();
+    assert!(
+        total_with > total_without,
+        "same-SP preference should raise profit at iota=2: {total_with} vs {total_without}"
+    );
+}
+
+/// The direct algorithm-level claim behind Figs. 2–5, on paired instances.
+#[test]
+fn dmra_beats_baselines_on_paired_instances_at_iota_2() {
+    for seed in [0u64, 1, 2] {
+        let instance = ScenarioConfig::paper_defaults()
+            .with_ues(600)
+            .with_seed(seed)
+            .build()
+            .unwrap();
+        let dmra = instance.total_profit(&Dmra::default().allocate(&instance));
+        let dcsp = instance.total_profit(&Dcsp::default().allocate(&instance));
+        let nonco = instance.total_profit(&NonCo::default().allocate(&instance));
+        assert!(dmra > dcsp, "seed {seed}: {dmra} vs DCSP {dcsp}");
+        assert!(dmra > nonco, "seed {seed}: {dmra} vs NonCo {nonco}");
+    }
+}
+
+/// The matcher's convergence diagnostics stay within the theoretical
+/// bounds at every paper scale.
+#[test]
+fn dmra_converges_quickly_at_every_scale() {
+    for n_ues in [400usize, 900] {
+        let instance = ScenarioConfig::paper_defaults()
+            .with_ues(n_ues)
+            .with_seed(3)
+            .build()
+            .unwrap();
+        let out = Dmra::new(DmraConfig::paper_defaults())
+            .solve(&instance)
+            .unwrap();
+        assert!(
+            out.iterations <= n_ues + 1,
+            "iterations {} exceed |U|+1",
+            out.iterations
+        );
+        // Practical convergence is far faster than the bound.
+        assert!(
+            out.iterations < 100,
+            "iterations {} suspiciously high",
+            out.iterations
+        );
+    }
+}

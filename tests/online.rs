@@ -1,0 +1,121 @@
+//! Workspace-level tests of the online/mobility regimes against the
+//! static matcher and the Erlang-B analytics.
+
+use dmra::prelude::*;
+use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra::sim::erlang::{erlang_b, TrunkModel};
+use dmra::sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
+
+#[test]
+fn online_dmra_beats_online_nonco_on_identical_traces() {
+    for rate in [80.0, 160.0] {
+        let config = DynamicConfig {
+            scenario: ScenarioConfig::paper_defaults(),
+            arrival_rate: rate,
+            mean_holding: 5.0,
+            epochs: 50,
+            seed: 41,
+        };
+        let dmra = DynamicSimulator::new(config.clone()).run().unwrap();
+        let nonco =
+            DynamicSimulator::with_allocator(config, Box::new(NonCo::default()))
+                .run()
+                .unwrap();
+        assert_eq!(dmra.arrivals, nonco.arrivals, "traces must match");
+        assert!(
+            dmra.total_profit > nonco.total_profit,
+            "rate {rate}: dmra {} vs nonco {}",
+            dmra.total_profit,
+            nonco.total_profit
+        );
+    }
+}
+
+#[test]
+fn erlang_dimensioning_is_sane_for_the_paper_deployment() {
+    let model = TrunkModel::estimate(&ScenarioConfig::paper_defaults(), 300, 1).unwrap();
+    // At an offered load equal to half the effective servers, blocking is
+    // negligible; at twice, it is massive.
+    let half = model.predicted_blocking(f64::from(model.servers) / 10.0, 5.0);
+    let double = model.predicted_blocking(f64::from(model.servers) * 2.0 / 5.0, 5.0);
+    assert!(half < 0.01, "half-load blocking {half}");
+    assert!(double > 0.4, "double-load blocking {double}");
+    // And the raw formula is monotone in between.
+    let a = f64::from(model.servers);
+    assert!(erlang_b(model.servers, 0.8 * a) < erlang_b(model.servers, 1.2 * a));
+}
+
+#[test]
+fn mobility_policies_agree_when_nothing_moves() {
+    let base = MobilityConfig {
+        scenario: ScenarioConfig::paper_defaults().with_ues(200),
+        speed_mps: (0.0, 0.0),
+        epoch_seconds: 10.0,
+        epochs: 6,
+        seed: 2,
+        policy: MobilityPolicy::FullReallocation,
+    };
+    let full = MobilitySimulator::new(base.clone()).run().unwrap();
+    let sticky = MobilitySimulator::new(MobilityConfig {
+        policy: MobilityPolicy::Sticky,
+        ..base
+    })
+    .run()
+    .unwrap();
+    // With stationary UEs both policies keep the epoch-1 allocation: no
+    // handovers, identical profit timelines.
+    assert_eq!(full.handovers, 0);
+    assert_eq!(sticky.handovers, 0);
+    assert_eq!(full.profit_timeline, sticky.profit_timeline);
+}
+
+#[test]
+fn mobility_served_count_is_stable_under_churn() {
+    let out = MobilitySimulator::new(MobilityConfig {
+        scenario: ScenarioConfig::paper_defaults().with_ues(500),
+        speed_mps: (10.0, 20.0),
+        epoch_seconds: 10.0,
+        epochs: 15,
+        seed: 3,
+        policy: MobilityPolicy::FullReallocation,
+    })
+    .run()
+    .unwrap();
+    // A well-provisioned network keeps serving (almost) everyone as they
+    // move; the matcher never collapses coverage.
+    let min = *out.served_timeline.iter().min().unwrap();
+    let max = *out.served_timeline.iter().max().unwrap();
+    assert!(min as f64 > 0.95 * max as f64, "served range {min}..{max}");
+}
+
+#[test]
+fn dynamic_and_static_profit_rates_are_consistent() {
+    // At light load the online regime admits everything, so the profit per
+    // admitted task should match a static allocation's per-UE profit to
+    // within distribution noise.
+    let out = DynamicSimulator::new(DynamicConfig {
+        scenario: ScenarioConfig::paper_defaults(),
+        arrival_rate: 20.0,
+        mean_holding: 4.0,
+        epochs: 50,
+        seed: 4,
+    })
+    .run()
+    .unwrap();
+    let online_per_task = out.total_profit.get() / out.admitted as f64;
+
+    let instance = ScenarioConfig::paper_defaults()
+        .with_ues(200)
+        .with_seed(4)
+        .build()
+        .unwrap();
+    let allocation = Dmra::default().allocate(&instance);
+    let static_per_task =
+        instance.total_profit(&allocation).get() / allocation.edge_served() as f64;
+
+    let ratio = online_per_task / static_per_task;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "per-task profit diverged: online {online_per_task:.2} vs static {static_per_task:.2}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Optimality-gap measurements against the exact branch-and-bound solver.
+//!
+//! The exact solver is exponential, so these tests run on reduced copies
+//! of the paper scenario (2 SPs × 4 BSs); the qualitative question —
+//! how much profit does decentralization cost? — transfers.
+
+use dmra::prelude::*;
+use dmra::baselines::ExactOptimal;
+use dmra::sim::BsPlacement;
+use dmra_core::DmraConfig;
+
+fn small_scenario(n_ues: usize, seed: u64) -> dmra::core::ProblemInstance {
+    let mut cfg = ScenarioConfig::paper_defaults()
+        .with_ues(n_ues)
+        .with_seed(seed);
+    cfg.n_sps = 2;
+    cfg.bss_per_sp = 2;
+    cfg.n_services = 2;
+    cfg.bs_placement = BsPlacement::RegularGrid {
+        rows: 2,
+        cols: 2,
+        isd: Meters::new(300.0),
+    };
+    cfg.build().unwrap()
+}
+
+#[test]
+fn exact_solver_dominates_everything() {
+    for seed in 0..6u64 {
+        let instance = small_scenario(12, seed);
+        let (opt_alloc, opt_profit) = ExactOptimal::default().solve(&instance).unwrap();
+        opt_alloc.validate(&instance).unwrap();
+        let algos: Vec<Box<dyn Allocator>> = vec![
+            Box::new(Dmra::default()),
+            Box::new(Dcsp::default()),
+            Box::new(NonCo::default()),
+            Box::new(GreedyProfit::default()),
+            Box::new(RandomAllocator::new(seed)),
+        ];
+        for algo in algos {
+            let profit = instance.total_profit(&algo.allocate(&instance));
+            assert!(
+                opt_profit.get() >= profit.get() - 1e-9,
+                "seed {seed}: {} ({profit}) beat the optimum ({opt_profit})",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dmra_average_gap_is_small() {
+    let mut dmra_total = 0.0;
+    let mut opt_total = 0.0;
+    for seed in 10..22u64 {
+        let instance = small_scenario(14, seed);
+        let (_, opt) = ExactOptimal::default().solve(&instance).unwrap();
+        opt_total += opt.get();
+        dmra_total += instance
+            .total_profit(&Dmra::default().allocate(&instance))
+            .get();
+    }
+    let ratio = dmra_total / opt_total;
+    assert!(
+        ratio > 0.80,
+        "DMRA at {:.1}% of the exact optimum on average",
+        ratio * 100.0
+    );
+}
+
+#[test]
+fn greedy_is_closer_to_optimal_than_random() {
+    let mut greedy_total = 0.0;
+    let mut random_total = 0.0;
+    let mut opt_total = 0.0;
+    for seed in 30..40u64 {
+        let instance = small_scenario(14, seed);
+        let (_, opt) = ExactOptimal::default().solve(&instance).unwrap();
+        opt_total += opt.get();
+        greedy_total += instance
+            .total_profit(&GreedyProfit::default().allocate(&instance))
+            .get();
+        random_total += instance
+            .total_profit(&RandomAllocator::new(seed).allocate(&instance))
+            .get();
+    }
+    assert!(greedy_total > random_total);
+    assert!(greedy_total / opt_total > 0.9);
+}
+
+#[test]
+fn same_sp_preference_narrows_the_gap_at_high_iota() {
+    // The multi-SP term is DMRA's profit lever: disabling it must not
+    // bring DMRA closer to the optimum at ι = 2.
+    let mut with_pref = 0.0;
+    let mut without = 0.0;
+    for seed in 50..60u64 {
+        let instance = small_scenario(16, seed);
+        with_pref += instance
+            .total_profit(&Dmra::default().allocate(&instance))
+            .get();
+        let no_pref = Dmra::new(DmraConfig {
+            same_sp_preference: false,
+            ..DmraConfig::paper_defaults()
+        });
+        without += instance.total_profit(&no_pref.allocate(&instance)).get();
+    }
+    assert!(
+        with_pref >= without * 0.999,
+        "same-SP preference lost profit: {with_pref} vs {without}"
+    );
+}
