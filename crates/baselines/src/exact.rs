@@ -73,7 +73,11 @@ impl ExactOptimal {
         let mut search = Search {
             options: &options,
             optimistic_tail: &optimistic_tail,
-            rem_cru: instance.bss().iter().map(|b| b.cru_budget.clone()).collect(),
+            rem_cru: instance
+                .bss()
+                .iter()
+                .map(|b| b.cru_budget.clone())
+                .collect(),
             rem_rrb: instance.bss().iter().map(|b| b.rrb_budget).collect(),
             current: vec![None; n],
             best: vec![None; n],
@@ -213,10 +217,12 @@ mod tests {
             }
             best
         }
-        let mut rem_cru: Vec<Vec<Cru>> =
-            instance.bss().iter().map(|b| b.cru_budget.clone()).collect();
-        let mut rem_rrb: Vec<RrbCount> =
-            instance.bss().iter().map(|b| b.rrb_budget).collect();
+        let mut rem_cru: Vec<Vec<Cru>> = instance
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let mut rem_rrb: Vec<RrbCount> = instance.bss().iter().map(|b| b.rrb_budget).collect();
         rec(instance, 0, &mut rem_cru, &mut rem_rrb, 0.0)
     }
 

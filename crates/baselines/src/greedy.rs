@@ -50,10 +50,12 @@ impl Allocator for GreedyProfit {
                 .then(a.2.cmp(&b.2))
         });
 
-        let mut rem_cru: Vec<Vec<Cru>> =
-            instance.bss().iter().map(|b| b.cru_budget.clone()).collect();
-        let mut rem_rrb: Vec<RrbCount> =
-            instance.bss().iter().map(|b| b.rrb_budget).collect();
+        let mut rem_cru: Vec<Vec<Cru>> = instance
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let mut rem_rrb: Vec<RrbCount> = instance.bss().iter().map(|b| b.rrb_budget).collect();
         let mut alloc = Allocation::all_cloud(instance.n_ues());
         let mut done = vec![false; instance.n_ues()];
         for (_, ue_id, bs_idx, n_rrbs) in edges {

@@ -26,8 +26,11 @@ pub(crate) struct ResourcePool {
 
 impl ResourcePool {
     pub(crate) fn new(instance: &ProblemInstance) -> Self {
-        let cap_cru: Vec<Vec<Cru>> =
-            instance.bss().iter().map(|b| b.cru_budget.clone()).collect();
+        let cap_cru: Vec<Vec<Cru>> = instance
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
         let cap_rrb: Vec<RrbCount> = instance.bss().iter().map(|b| b.rrb_budget).collect();
         Self {
             rem_cru: cap_cru.clone(),
@@ -60,13 +63,13 @@ impl ResourcePool {
     /// reading of DCSP's "resource occupation"; kept for comparison).
     pub(crate) fn total_occupancy(&self, bs: BsId) -> f64 {
         let i = bs.as_usize();
-        let cap: f64 = self.cap_cru[i].iter().map(|c| c.as_f64()).sum::<f64>()
-            + self.cap_rrb[i].as_f64();
+        let cap: f64 =
+            self.cap_cru[i].iter().map(|c| c.as_f64()).sum::<f64>() + self.cap_rrb[i].as_f64();
         if cap <= 0.0 {
             return 1.0;
         }
-        let rem: f64 = self.rem_cru[i].iter().map(|c| c.as_f64()).sum::<f64>()
-            + self.rem_rrb[i].as_f64();
+        let rem: f64 =
+            self.rem_cru[i].iter().map(|c| c.as_f64()).sum::<f64>() + self.rem_rrb[i].as_f64();
         1.0 - rem / cap
     }
 }
@@ -130,7 +133,12 @@ pub(crate) fn run<P: Preferences>(instance: &ProblemInstance, prefs: &P) -> Allo
                     .map(|(idx, _, _)| idx)
                     .expect("non-empty");
                 let link = b_u[u][best];
-                if pool.fits(link.bs, spec.service.as_usize(), spec.cru_demand, link.n_rrbs) {
+                if pool.fits(
+                    link.bs,
+                    spec.service.as_usize(),
+                    spec.cru_demand,
+                    link.n_rrbs,
+                ) {
                     proposals
                         .entry(link.bs.index())
                         .or_default()
@@ -158,8 +166,7 @@ pub(crate) fn run<P: Preferences>(instance: &ProblemInstance, prefs: &P) -> Allo
                     .expect("non-empty");
                 winners.push(winner);
             }
-            let demand =
-                |u: UeId| instance.link(u, bs).expect("winner is candidate").n_rrbs;
+            let demand = |u: UeId| instance.link(u, bs).expect("winner is candidate").n_rrbs;
             let mut total: RrbCount = winners.iter().map(|&u| demand(u)).sum();
             if total > pool.rem_rrb[bs.as_usize()] {
                 // Best-first, then drop from the tail until the batch fits.

@@ -50,10 +50,12 @@ impl Allocator for RandomAllocator {
             let j = rng.random_range(0..=i);
             order.swap(i, j);
         }
-        let mut rem_cru: Vec<Vec<Cru>> =
-            instance.bss().iter().map(|b| b.cru_budget.clone()).collect();
-        let mut rem_rrb: Vec<RrbCount> =
-            instance.bss().iter().map(|b| b.rrb_budget).collect();
+        let mut rem_cru: Vec<Vec<Cru>> = instance
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let mut rem_rrb: Vec<RrbCount> = instance.bss().iter().map(|b| b.rrb_budget).collect();
         let mut alloc = Allocation::all_cloud(instance.n_ues());
         for u in order {
             let ue = UeId::new(u as u32);

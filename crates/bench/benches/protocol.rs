@@ -28,8 +28,7 @@ fn bench_centralized_vs_decentralized(c: &mut Criterion) {
             |b, inst| {
                 b.iter(|| {
                     black_box(
-                        run_decentralized(inst, &config, DropPolicy::reliable(), 100_000)
-                            .unwrap(),
+                        run_decentralized(inst, &config, DropPolicy::reliable(), 100_000).unwrap(),
                     )
                 })
             },
@@ -40,8 +39,7 @@ fn bench_centralized_vs_decentralized(c: &mut Criterion) {
             |b, inst| {
                 b.iter(|| {
                     black_box(
-                        run_decentralized(inst, &config, DropPolicy::new(0.1, 3), 100_000)
-                            .unwrap(),
+                        run_decentralized(inst, &config, DropPolicy::new(0.1, 3), 100_000).unwrap(),
                     )
                 })
             },

@@ -4,14 +4,22 @@
 //! cargo run --release -p dmra-bench --bin figures -- all
 //! cargo run --release -p dmra-bench --bin figures -- fig2 fig7
 //! cargo run --release -p dmra-bench --bin figures -- --quick ablations
+//! cargo run --release -p dmra-bench --bin figures -- bench
 //! ```
 //!
 //! Markdown tables go to stdout; CSVs are written to `results/<name>.csv`.
+//! The `bench` job instead times the sweep engine (serial vs threaded,
+//! asserting bit-identical tables), the instance builder and the dense
+//! DMRA solver against its reference, and writes `BENCH_sweep.json`.
 
+use dmra_baselines::{Dcsp, NonCo};
+use dmra_bench::bench_instance;
+use dmra_core::{Allocator, Dmra, Threads};
 use dmra_sim::experiments::{self, ExperimentOptions};
-use dmra_sim::Table;
+use dmra_sim::{ScenarioConfig, SweepRunner, Table};
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +56,10 @@ fn main() {
 
     fs::create_dir_all("results").expect("can create results/ directory");
     for job in jobs {
+        if job == "bench" {
+            bench_mode();
+            continue;
+        }
         let table = run_job(job, &opts);
         match table {
             Ok(table) => emit(job, &table),
@@ -57,6 +69,119 @@ fn main() {
             }
         }
     }
+}
+
+/// Times a closure, returning its value and the elapsed seconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let value = f();
+    (value, t0.elapsed().as_secs_f64())
+}
+
+/// The best (minimum) of `n` timed runs, in seconds.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..n)
+        .map(|_| timed(&mut f).1)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the parallel execution layer end to end and writes
+/// `BENCH_sweep.json` next to the workspace root.
+///
+/// The sweep section also *verifies* determinism: every threaded table is
+/// compared `==` against the serial one and the run aborts on mismatch.
+fn bench_mode() {
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("bench: {available} hardware thread(s) available");
+
+    // -- Sweep engine: serial vs threaded on a Fig. 2-shaped workload. --
+    let ue_counts = [300usize, 600, 900];
+    let points: Vec<(f64, ScenarioConfig)> = ue_counts
+        .iter()
+        .map(|&n| (n as f64, ScenarioConfig::paper_defaults().with_ues(n)))
+        .collect();
+    let dmra = Dmra::default();
+    let dcsp = Dcsp::default();
+    let nonco = NonCo::default();
+    let algos: Vec<&dyn Allocator> = vec![&dmra, &dcsp, &nonco];
+    let replications = 3u32;
+    let runner = SweepRunner::new(replications, 42);
+    let run_with = |threads: Threads| -> (Table, f64) {
+        timed(|| {
+            runner
+                .with_threads(threads)
+                .run_profit("bench", "#UEs", &points, &algos)
+                .expect("bench sweep builds")
+        })
+    };
+    let (serial_table, serial_secs) = run_with(Threads::serial());
+    eprintln!("sweep serial: {serial_secs:.3} s");
+    let mut sweep_rows = String::new();
+    for threads in [2usize, 4] {
+        let (table, secs) = run_with(Threads::Fixed(threads));
+        assert_eq!(
+            table, serial_table,
+            "threaded sweep diverged from serial at {threads} threads"
+        );
+        eprintln!("sweep {threads} threads: {secs:.3} s (table identical)");
+        if !sweep_rows.is_empty() {
+            sweep_rows.push_str(",\n");
+        }
+        sweep_rows.push_str(&format!(
+            "      {{ \"threads\": {threads}, \"secs\": {secs:.4}, \"identical_to_serial\": true }}"
+        ));
+    }
+
+    // -- Instance build: serial vs threaded at 900 and 2000 UEs. --
+    let mut build_rows = String::new();
+    for n_ues in [900usize, 2000] {
+        let serial = best_of(3, || {
+            dmra_bench::bench_instance_with_threads(n_ues, 7, Threads::serial())
+        });
+        let auto = best_of(3, || {
+            dmra_bench::bench_instance_with_threads(n_ues, 7, Threads::Auto)
+        });
+        eprintln!("build {n_ues} UEs: serial {serial:.4} s, auto {auto:.4} s");
+        if !build_rows.is_empty() {
+            build_rows.push_str(",\n");
+        }
+        build_rows.push_str(&format!(
+            "      {{ \"n_ues\": {n_ues}, \"serial_secs\": {serial:.4}, \"auto_secs\": {auto:.4} }}"
+        ));
+    }
+
+    // -- Dense solver vs the line-by-line reference. --
+    let mut solve_rows = String::new();
+    for n_ues in [900usize, 2000] {
+        let instance = bench_instance(n_ues, 7);
+        let dense = best_of(5, || dmra.solve(&instance).expect("solves"));
+        let reference = best_of(5, || dmra.solve_reference(&instance).expect("solves"));
+        let speedup = reference / dense;
+        eprintln!(
+            "solve {n_ues} UEs: dense {dense:.4} s, reference {reference:.4} s \
+             ({speedup:.1}x)"
+        );
+        if !solve_rows.is_empty() {
+            solve_rows.push_str(",\n");
+        }
+        solve_rows.push_str(&format!(
+            "      {{ \"n_ues\": {n_ues}, \"dense_secs\": {dense:.4}, \
+             \"reference_secs\": {reference:.4}, \"speedup\": {speedup:.2} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"hardware_threads\": {available},\n  \"sweep\": {{\n    \
+         \"title\": \"profit sweep, {} points x {replications} replications x {} algorithms\",\n    \
+         \"ue_counts\": {ue_counts:?},\n    \"serial_secs\": {serial_secs:.4},\n    \
+         \"threaded\": [\n{sweep_rows}\n    ]\n  }},\n  \"instance_build\": {{\n    \
+         \"runs\": [\n{build_rows}\n    ]\n  }},\n  \"dmra_solve\": {{\n    \
+         \"runs\": [\n{solve_rows}\n    ]\n  }}\n}}\n",
+        points.len(),
+        algos.len(),
+    );
+    fs::write("BENCH_sweep.json", &json).expect("can write BENCH_sweep.json");
+    eprintln!("wrote BENCH_sweep.json");
 }
 
 fn run_job(job: &str, opts: &ExperimentOptions) -> Result<Table, String> {

@@ -16,7 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dmra_core::ProblemInstance;
+use dmra_core::{ProblemInstance, Threads};
 use dmra_sim::ScenarioConfig;
 
 /// Builds the standard paper-scale instance used by the performance
@@ -27,10 +27,21 @@ use dmra_sim::ScenarioConfig;
 /// Panics if the paper-default scenario fails to build (it cannot).
 #[must_use]
 pub fn bench_instance(n_ues: usize, seed: u64) -> ProblemInstance {
+    bench_instance_with_threads(n_ues, seed, Threads::Auto)
+}
+
+/// [`bench_instance`] with an explicit thread knob for the candidate-link
+/// precomputation (what the `instance-build` bench group compares).
+///
+/// # Panics
+///
+/// Panics if the paper-default scenario fails to build (it cannot).
+#[must_use]
+pub fn bench_instance_with_threads(n_ues: usize, seed: u64, threads: Threads) -> ProblemInstance {
     ScenarioConfig::paper_defaults()
         .with_ues(n_ues)
         .with_seed(seed)
-        .build()
+        .build_with_threads(threads)
         .expect("paper-default scenario builds")
 }
 

@@ -4,7 +4,7 @@
 use crate::args::{ArgError, ParsedArgs};
 use dmra_baselines::{CloudOnly, Dcsp, GreedyProfit, NonCo, RandomAllocator};
 use dmra_core::agents::run_decentralized;
-use dmra_core::{Allocator, Dmra, DmraConfig};
+use dmra_core::{Allocator, Dmra, DmraConfig, Threads};
 use dmra_proto::DropPolicy;
 use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
 use dmra_sim::erlang::TrunkModel;
@@ -26,9 +26,11 @@ pub fn help_text() -> String {
      \t--rho X        Eq. (17) weight             (default 100)\n\
      \t--placement P  regular | random            (default regular)\n\
      \t--algo A       dmra|dcsp|nonco|greedy|random|cloud|all (default all)\n\
+     \t--threads N    worker threads (0 = auto; or set DMRA_THREADS)\n\
      sweep     profit vs #UEs table (DMRA, DCSP, NonCo)\n\
      \t--seed S --iota X --placement P --reps R   (defaults 42, 2.0, regular, 3)\n\
      \t--format F     markdown | csv              (default markdown)\n\
+     \t--threads N    worker threads (0 = auto; results are identical)\n\
      protocol  decentralized execution statistics\n\
      \t--ues N --seed S --drop PCT                (defaults 400, 42, 0)\n\
      dynamic   online arrivals/departures\n\
@@ -82,6 +84,15 @@ fn scenario_from(parsed: &ParsedArgs) -> Result<ScenarioConfig, ArgError> {
     Ok(cfg)
 }
 
+/// Parses `--threads N`: absent or `0` means [`Threads::Auto`] (which in
+/// turn honours the `DMRA_THREADS` environment variable).
+fn threads_from(parsed: &ParsedArgs) -> Result<Threads, ArgError> {
+    match parsed.get_or("threads", 0usize)? {
+        0 => Ok(Threads::Auto),
+        n => Ok(Threads::Fixed(n)),
+    }
+}
+
 fn algorithms(selector: &str, seed: u64, rho: f64) -> Result<Vec<Box<dyn Allocator>>, ArgError> {
     let dmra = || Box::new(Dmra::new(DmraConfig::paper_defaults().with_rho(rho)));
     Ok(match selector {
@@ -108,11 +119,11 @@ fn algorithms(selector: &str, seed: u64, rho: f64) -> Result<Vec<Box<dyn Allocat
 }
 
 fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["ues", "seed", "iota", "rho", "placement", "algo"])?;
+    parsed.expect_keys(&["ues", "seed", "iota", "rho", "placement", "algo", "threads"])?;
     let seed = parsed.get_or("seed", 42u64)?;
     let rho = parsed.get_or("rho", 100.0f64)?;
     let instance = scenario_from(parsed)?
-        .build()
+        .build_with_threads(threads_from(parsed)?)
         .map_err(|e| ArgError(e.to_string()))?;
     let mut out = format!(
         "{} SPs, {} BSs, {} UEs, {} services\n\n{:<14} {:>12} {:>8} {:>8} {:>9} {:>9}\n",
@@ -147,13 +158,14 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["seed", "iota", "placement", "reps", "format"])?;
+    parsed.expect_keys(&["seed", "iota", "placement", "reps", "format", "threads"])?;
     let base = scenario_from(parsed)?;
     let reps = parsed.get_or("reps", 3u32)?;
     if reps == 0 {
         return Err(ArgError("--reps must be at least 1".into()));
     }
-    let runner = SweepRunner::new(reps, parsed.get_or("seed", 42u64)?);
+    let runner =
+        SweepRunner::new(reps, parsed.get_or("seed", 42u64)?).with_threads(threads_from(parsed)?);
     let points: Vec<(f64, ScenarioConfig)> = dmra_sim::experiments::UE_COUNTS
         .iter()
         .map(|&n| (n as f64, base.clone().with_ues(n)))
@@ -240,7 +252,15 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["ues", "speed", "epochs", "seed", "iota", "placement", "policy"])?;
+    parsed.expect_keys(&[
+        "ues",
+        "speed",
+        "epochs",
+        "seed",
+        "iota",
+        "placement",
+        "policy",
+    ])?;
     let speed = parsed.get_or("speed", 5.0f64)?;
     if speed < 0.0 {
         return Err(ArgError("--speed must be non-negative".into()));
@@ -358,7 +378,13 @@ mod tests {
     #[test]
     fn dynamic_reports_admissions() {
         let text = run(&[
-            "dynamic", "--rate", "10", "--epochs", "10", "--holding", "2",
+            "dynamic",
+            "--rate",
+            "10",
+            "--epochs",
+            "10",
+            "--holding",
+            "2",
         ])
         .unwrap();
         assert!(text.contains("admitted"));
@@ -367,10 +393,7 @@ mod tests {
 
     #[test]
     fn mobility_reports_handovers() {
-        let text = run(&[
-            "mobility", "--ues", "60", "--speed", "15", "--epochs", "6",
-        ])
-        .unwrap();
+        let text = run(&["mobility", "--ues", "60", "--speed", "15", "--epochs", "6"]).unwrap();
         assert!(text.contains("handover rate"));
     }
 
@@ -387,6 +410,19 @@ mod tests {
         // keep it cheap but real.
         let text = run(&["sweep", "--reps", "1", "--format", "csv"]).unwrap();
         assert!(text.starts_with("#UEs,DMRA_mean"));
+    }
+
+    #[test]
+    fn run_output_is_identical_across_thread_counts() {
+        let serial = run(&["run", "--ues", "80", "--threads", "1"]).unwrap();
+        let par = run(&["run", "--ues", "80", "--threads", "3"]).unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn threads_rejects_garbage() {
+        let err = run(&["run", "--ues", "40", "--threads", "many"]).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
     }
 
     #[test]

@@ -21,7 +21,11 @@ fn help_exits_zero_and_prints_usage() {
 #[test]
 fn run_command_end_to_end() {
     let out = dmra(&["run", "--ues", "80", "--algo", "dmra", "--seed", "1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("DMRA"));
     assert!(text.contains("25 BSs"));

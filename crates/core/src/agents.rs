@@ -515,7 +515,13 @@ pub fn run_decentralized(
     drop_policy: DropPolicy,
     max_rounds: usize,
 ) -> Result<DecentralizedOutcome> {
-    run_decentralized_with(instance, config, drop_policy, DelayModel::Immediate, max_rounds)
+    run_decentralized_with(
+        instance,
+        config,
+        drop_policy,
+        DelayModel::Immediate,
+        max_rounds,
+    )
 }
 
 /// Like [`run_decentralized`], with an explicit message-delay model.
@@ -579,7 +585,11 @@ pub fn run_protocol(
         engine.crash_at(Address::Bs(bs), round);
     }
     for u in 0..instance.n_ues() {
-        engine.register(Box::new(UeAgent::new(instance, UeId::new(u as u32), config)));
+        engine.register(Box::new(UeAgent::new(
+            instance,
+            UeId::new(u as u32),
+            config,
+        )));
     }
     for i in 0..instance.n_bss() {
         engine.register(Box::new(BsAgent::new(
@@ -669,10 +679,7 @@ mod tests {
                 &inst,
                 &config,
                 DropPolicy::reliable(),
-                DelayModel::Random {
-                    max_extra: 3,
-                    seed,
-                },
+                DelayModel::Random { max_extra: 3, seed },
                 10_000,
             )
             .unwrap();
@@ -689,10 +696,7 @@ mod tests {
                 &inst,
                 &config,
                 DropPolicy::new(0.2, seed),
-                DelayModel::Random {
-                    max_extra: 2,
-                    seed,
-                },
+                DelayModel::Random { max_extra: 2, seed },
                 10_000,
             )
             .unwrap();
@@ -757,10 +761,7 @@ mod tests {
                 &config,
                 ProtocolOptions {
                     drop_policy: DropPolicy::new(0.15, seed),
-                    delay: DelayModel::Random {
-                        max_extra: 2,
-                        seed,
-                    },
+                    delay: DelayModel::Random { max_extra: 2, seed },
                     crashed_bss: vec![(BsId::new(0), 3)],
                     max_rounds: 100_000,
                 },

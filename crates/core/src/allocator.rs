@@ -8,11 +8,14 @@ use crate::instance::ProblemInstance;
 /// The trait is object-safe so sweeps can iterate over
 /// `Vec<Box<dyn Allocator>>`; implementations must be deterministic given
 /// their own configuration (randomized baselines carry an explicit seed).
+/// `Send + Sync` is a supertrait so the sweep engine can share allocators
+/// across its worker threads — allocators are plain configuration data,
+/// so this costs implementations nothing.
 ///
 /// Implementations must return allocations that pass
 /// [`Allocation::validate`] on the same instance — the test suites of
 /// `dmra-core` and `dmra-baselines` enforce this for every algorithm.
-pub trait Allocator {
+pub trait Allocator: Send + Sync {
     /// A short human-readable name ("DMRA", "DCSP", "NonCo", …) used in
     /// figure legends and reports.
     fn name(&self) -> &str;

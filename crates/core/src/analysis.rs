@@ -73,8 +73,8 @@ where
                 continue;
             }
             let i = link.bs.as_usize();
-            let fits = rem_cru[i][ue.service.as_usize()] >= ue.cru_demand
-                && rem_rrb[i] >= link.n_rrbs;
+            let fits =
+                rem_cru[i][ue.service.as_usize()] >= ue.cru_demand && rem_rrb[i] >= link.n_rrbs;
             if !fits {
                 continue;
             }

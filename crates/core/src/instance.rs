@@ -1,10 +1,11 @@
 //! The validated, immutable problem input.
 
 use dmra_econ::{PricingConfig, ProfitLedger, ProfitReport};
+use dmra_par::{par_map_indexed, Threads};
 use dmra_radio::{InterferenceModel, LinkEvaluator, RadioConfig};
 use dmra_types::{
-    BitsPerSec, BsId, BsSpec, Cru, Error, Meters, Money, Result, RrbCount, ServiceCatalog,
-    SpSpec, UeId, UeSpec,
+    BitsPerSec, BsId, BsSpec, Cru, Error, Meters, Money, Result, RrbCount, ServiceCatalog, SpSpec,
+    UeId, UeSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,39 @@ impl ProblemInstance {
         radio: RadioConfig,
         coverage: CoverageModel,
     ) -> Result<Self> {
+        Self::build_with_threads(
+            sps,
+            bss,
+            ues,
+            catalog,
+            pricing,
+            radio,
+            coverage,
+            Threads::Auto,
+        )
+    }
+
+    /// [`ProblemInstance::build`] with an explicit thread-count knob.
+    ///
+    /// The per-UE candidate rows are independent, so they are fanned out
+    /// over `threads` workers and merged back in UE-id order — the result
+    /// is bit-identical to a serial build for every thread count (the
+    /// `parallelism` integration tests enforce this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProblemInstance::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_threads(
+        sps: Vec<SpSpec>,
+        bss: Vec<BsSpec>,
+        ues: Vec<UeSpec>,
+        catalog: ServiceCatalog,
+        pricing: PricingConfig,
+        radio: RadioConfig,
+        coverage: CoverageModel,
+        threads: Threads,
+    ) -> Result<Self> {
         if sps.is_empty() {
             return Err(Error::InvalidConfig("need at least one SP".into()));
         }
@@ -152,71 +186,57 @@ impl ProblemInstance {
             InterferenceModel::NoiseOnly => 0.0,
             InterferenceModel::LoadProportional { factor } => factor,
         };
+        // Fan-out threshold: below this many items the work is too small
+        // for thread spawns to pay off, so the build stays serial.
+        const PAR_MIN_ITEMS: usize = 32;
+        let rx_threads = if ues.len() * bss.len() >= PAR_MIN_ITEMS * PAR_MIN_ITEMS {
+            threads
+        } else {
+            Threads::serial()
+        };
         let total_rx_mw: Vec<f64> = if interference_factor > 0.0 {
-            bss.iter()
-                .map(|bs| {
-                    ues.iter()
-                        .map(|ue| evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position))
-                        .sum()
-                })
-                .collect()
+            // Each BS's aggregate sums over the UEs in id order, so the
+            // floating-point result is independent of the worker count.
+            par_map_indexed(rx_threads, bss.len(), |b| {
+                let bs = &bss[b];
+                ues.iter()
+                    .map(|ue| evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position))
+                    .sum()
+            })
         } else {
             vec![0.0; bss.len()]
         };
 
+        // Candidate rows are per-UE independent: compute them in parallel,
+        // then merge serially in UE-id order so `covered_ues` and the
+        // max-distance fold come out exactly as in a serial build.
+        let row_threads = if ues.len() >= PAR_MIN_ITEMS {
+            threads
+        } else {
+            Threads::serial()
+        };
+        let rows: Vec<(Vec<CandidateLink>, Meters)> =
+            par_map_indexed(row_threads, ues.len(), |u| {
+                candidate_row(
+                    &ues[u],
+                    &bss,
+                    &evaluator,
+                    interference_factor,
+                    &total_rx_mw,
+                    coverage,
+                    &pricing,
+                )
+            });
+
         let mut candidates: Vec<Vec<CandidateLink>> = Vec::with_capacity(ues.len());
         let mut covered_ues: Vec<Vec<UeId>> = vec![Vec::new(); bss.len()];
         let mut max_candidate_distance = Meters::new(0.0);
-        for ue in &ues {
-            let mut links = Vec::new();
-            for bs in &bss {
-                if !bs.hosts(ue.service) {
-                    continue;
-                }
-                let own_rx =
-                    evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position);
-                let interference_mw = interference_factor
-                    * (total_rx_mw[bs.id.as_usize()] - own_rx).max(0.0);
-                let metrics = evaluator.evaluate_with_interference(
-                    ue.tx_power,
-                    ue.position,
-                    bs.position,
-                    interference_mw,
-                );
-                let in_coverage = match coverage {
-                    CoverageModel::FixedRadius(r) => metrics.distance <= r,
-                    CoverageModel::MinPerRrbRate(min_rate) => {
-                        metrics.per_rrb_rate >= min_rate
-                    }
-                };
-                if !in_coverage {
-                    continue;
-                }
-                let Some(n_rrbs) =
-                    evaluator.rrbs_required(ue.rate_demand, metrics.per_rrb_rate)
-                else {
-                    continue;
-                };
-                // A link that can never fit the BS's total radio budget is
-                // not a candidate (Algorithm 1 would prune it on first try).
-                if n_rrbs > bs.rrb_budget || ue.cru_demand > bs.cru_budget_for(ue.service) {
-                    continue;
-                }
-                let same_sp = ue.sp == bs.sp;
-                let price = pricing.bs_cru_price(same_sp, metrics.distance);
-                if metrics.distance > max_candidate_distance {
-                    max_candidate_distance = metrics.distance;
-                }
-                covered_ues[bs.id.as_usize()].push(ue.id);
-                links.push(CandidateLink {
-                    bs: bs.id,
-                    distance: metrics.distance,
-                    sinr_linear: metrics.sinr_linear,
-                    per_rrb_rate: metrics.per_rrb_rate,
-                    n_rrbs,
-                    price,
-                    same_sp,
-                });
+        for (ue, (links, row_max)) in ues.iter().zip(rows) {
+            for link in &links {
+                covered_ues[link.bs.as_usize()].push(ue.id);
+            }
+            if row_max > max_candidate_distance {
+                max_candidate_distance = row_max;
             }
             candidates.push(links);
         }
@@ -318,9 +338,7 @@ impl ProblemInstance {
     /// Panics if `ue` is not part of this instance.
     #[must_use]
     pub fn link(&self, ue: UeId, bs: BsId) -> Option<&CandidateLink> {
-        self.candidates[ue.as_usize()]
-            .iter()
-            .find(|l| l.bs == bs)
+        self.candidates[ue.as_usize()].iter().find(|l| l.bs == bs)
     }
 
     /// Number of UEs.
@@ -460,6 +478,66 @@ impl ProblemInstance {
     }
 }
 
+/// Computes one UE's candidate links (in BS-id order) and the largest
+/// candidate distance in the row. Pure function of its arguments — the
+/// parallel build relies on that for bit-identical fan-out.
+fn candidate_row(
+    ue: &UeSpec,
+    bss: &[BsSpec],
+    evaluator: &LinkEvaluator,
+    interference_factor: f64,
+    total_rx_mw: &[f64],
+    coverage: CoverageModel,
+    pricing: &PricingConfig,
+) -> (Vec<CandidateLink>, Meters) {
+    let mut links = Vec::new();
+    let mut row_max = Meters::new(0.0);
+    for bs in bss {
+        if !bs.hosts(ue.service) {
+            continue;
+        }
+        let own_rx = evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position);
+        let interference_mw =
+            interference_factor * (total_rx_mw[bs.id.as_usize()] - own_rx).max(0.0);
+        let metrics = evaluator.evaluate_with_interference(
+            ue.tx_power,
+            ue.position,
+            bs.position,
+            interference_mw,
+        );
+        let in_coverage = match coverage {
+            CoverageModel::FixedRadius(r) => metrics.distance <= r,
+            CoverageModel::MinPerRrbRate(min_rate) => metrics.per_rrb_rate >= min_rate,
+        };
+        if !in_coverage {
+            continue;
+        }
+        let Some(n_rrbs) = evaluator.rrbs_required(ue.rate_demand, metrics.per_rrb_rate) else {
+            continue;
+        };
+        // A link that can never fit the BS's total radio budget is not a
+        // candidate (Algorithm 1 would prune it on first try).
+        if n_rrbs > bs.rrb_budget || ue.cru_demand > bs.cru_budget_for(ue.service) {
+            continue;
+        }
+        let same_sp = ue.sp == bs.sp;
+        let price = pricing.bs_cru_price(same_sp, metrics.distance);
+        if metrics.distance > row_max {
+            row_max = metrics.distance;
+        }
+        links.push(CandidateLink {
+            bs: bs.id,
+            distance: metrics.distance,
+            sinr_linear: metrics.sinr_linear,
+            per_rrb_rate: metrics.per_rrb_rate,
+            n_rrbs,
+            price,
+            same_sp,
+        });
+    }
+    (links, row_max)
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -534,7 +612,10 @@ pub(crate) mod tests {
     #[test]
     fn covered_ues_mirror_candidates() {
         let inst = two_sp_instance();
-        assert_eq!(inst.covered_ues(BsId::new(0)), &[UeId::new(0), UeId::new(1)]);
+        assert_eq!(
+            inst.covered_ues(BsId::new(0)),
+            &[UeId::new(0), UeId::new(1)]
+        );
         assert_eq!(inst.covered_ues(BsId::new(1)), &[UeId::new(0)]);
     }
 
@@ -673,10 +754,7 @@ pub(crate) mod tests {
             .residual(&rem_cru, &rem_rrb, inst.ues().to_vec())
             .unwrap();
         assert_eq!(residual.f_u(UeId::new(0)), 1);
-        assert_eq!(
-            residual.candidates(UeId::new(0))[0].bs,
-            BsId::new(1)
-        );
+        assert_eq!(residual.candidates(UeId::new(0))[0].bs, BsId::new(1));
         // ue1 requests a service bs1 does not host: no candidates left.
         assert_eq!(residual.f_u(UeId::new(1)), 0);
     }
@@ -684,9 +762,7 @@ pub(crate) mod tests {
     #[test]
     fn residual_rejects_wrong_arity() {
         let inst = two_sp_instance();
-        let err = inst
-            .residual(&[], &[], inst.ues().to_vec())
-            .unwrap_err();
+        let err = inst.residual(&[], &[], inst.ues().to_vec()).unwrap_err();
         assert!(matches!(err, Error::InvalidConfig(_)));
     }
 

@@ -70,13 +70,14 @@
 #![warn(missing_docs)]
 
 pub mod agents;
-pub mod analysis;
 mod allocation;
 mod allocator;
+pub mod analysis;
 mod dmra;
 mod instance;
 
 pub use allocation::{Allocation, AllocationStats};
 pub use allocator::Allocator;
 pub use dmra::{Dmra, DmraConfig, DmraOutcome};
+pub use dmra_par::Threads;
 pub use instance::{CandidateLink, CoverageModel, ProblemInstance};

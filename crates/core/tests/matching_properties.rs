@@ -10,7 +10,13 @@ use proptest::prelude::*;
 
 /// Strategy: a small instance with arbitrary topology and demands.
 fn arb_instance() -> impl Strategy<Value = ProblemInstance> {
-    let bs = (0.0f64..1000.0, 0.0f64..1000.0, 1u32..3, 50u32..150, 5u32..55);
+    let bs = (
+        0.0f64..1000.0,
+        0.0f64..1000.0,
+        1u32..3,
+        50u32..150,
+        5u32..55,
+    );
     let ue = (
         0.0f64..1000.0,
         0.0f64..1000.0,

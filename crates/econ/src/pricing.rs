@@ -89,11 +89,7 @@ impl PricingConfig {
     #[must_use]
     pub fn bs_cru_price(&self, same_sp: bool, distance: Meters) -> Money {
         let b = self.base_price.get();
-        let computing = if same_sp {
-            b
-        } else {
-            self.cross_sp_markup * b
-        };
+        let computing = if same_sp { b } else { self.cross_sp_markup * b };
         let d = distance.get().max(MIN_PRICE_DISTANCE_M);
         let transmission = d.powf(self.distance_exponent) * b;
         Money::new(computing + transmission)
@@ -203,11 +199,7 @@ mod tests {
 
     #[test]
     fn margin_validation_accepts_paper_defaults() {
-        let sps = vec![SpSpec::new(
-            SpId::new(0),
-            Money::new(10.0),
-            Money::new(1.0),
-        )];
+        let sps = vec![SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0))];
         let p = PricingConfig::paper_defaults();
         assert!(p.validate_margin(&sps, Meters::new(1700.0)).is_ok());
     }

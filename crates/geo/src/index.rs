@@ -48,10 +48,7 @@ impl GridIndex {
     }
 
     fn cell_of(p: Point, cell: f64) -> (i64, i64) {
-        (
-            (p.x / cell).floor() as i64,
-            (p.y / cell).floor() as i64,
-        )
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
 
     /// Number of indexed points.

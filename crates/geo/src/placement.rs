@@ -251,7 +251,9 @@ mod tests {
     #[test]
     fn hex_single_row_reduces_to_line() {
         let sites = hex_grid(1, 4, Meters::new(100.0), Rect::default());
-        assert!(sites.windows(2).all(|w| (w[0].distance(w[1]).get() - 100.0).abs() < 1e-9));
+        assert!(sites
+            .windows(2)
+            .all(|w| (w[0].distance(w[1]).get() - 100.0).abs() < 1e-9));
     }
 
     #[test]

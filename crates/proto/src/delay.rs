@@ -81,11 +81,7 @@ mod tests {
     #[test]
     fn random_is_bounded_and_seeded() {
         let draws = |seed: u64| -> Vec<u32> {
-            let mut s = DelayModel::Random {
-                max_extra: 4,
-                seed,
-            }
-            .sampler();
+            let mut s = DelayModel::Random { max_extra: 4, seed }.sampler();
             (0..100).map(|_| s.next_extra()).collect()
         };
         let a = draws(7);

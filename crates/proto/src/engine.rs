@@ -330,7 +330,11 @@ mod tests {
     #[test]
     fn unregistered_addresses_absorb_messages() {
         let mut e: RoundEngine<u32> = RoundEngine::new();
-        e.register(Box::new(Echo::new(Address::Ue(UeId::new(0)), Address::Cloud, 3)));
+        e.register(Box::new(Echo::new(
+            Address::Ue(UeId::new(0)),
+            Address::Cloud,
+            3,
+        )));
         let stats = e.run(10).unwrap();
         assert_eq!(stats.messages_sent, 3);
     }

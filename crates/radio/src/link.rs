@@ -109,11 +109,7 @@ impl LinkEvaluator {
     /// only happens for a degenerate zero-SINR link) or when the demand
     /// would need more RRBs than can be counted.
     #[must_use]
-    pub fn rrbs_required(
-        &self,
-        demand: BitsPerSec,
-        per_rrb_rate: BitsPerSec,
-    ) -> Option<RrbCount> {
+    pub fn rrbs_required(&self, demand: BitsPerSec, per_rrb_rate: BitsPerSec) -> Option<RrbCount> {
         if per_rrb_rate.get() <= 0.0 || !per_rrb_rate.is_finite() {
             return None;
         }
@@ -147,7 +143,10 @@ mod tests {
         let m = eval().evaluate(Dbm::new(10.0), Point::new(300.0, 0.0), BS);
         assert!((m.rx_power.get() - (-111.51)).abs() < 0.05, "{m:?}");
         assert!((m.sinr_db().get() - 58.49).abs() < 0.1, "{m:?}");
-        assert!((m.per_rrb_rate.get() - 3_497_000.0).abs() < 10_000.0, "{m:?}");
+        assert!(
+            (m.per_rrb_rate.get() - 3_497_000.0).abs() < 10_000.0,
+            "{m:?}"
+        );
     }
 
     #[test]
@@ -182,8 +181,12 @@ mod tests {
         // network saturates within the paper's 400–900 UE sweep.
         let e = eval();
         let m = e.evaluate(Dbm::new(10.0), Point::new(212.0, 212.0), BS); // 300 m
-        let n_lo = e.rrbs_required(BitsPerSec::from_mbps(2.0), m.per_rrb_rate).unwrap();
-        let n_hi = e.rrbs_required(BitsPerSec::from_mbps(6.0), m.per_rrb_rate).unwrap();
+        let n_lo = e
+            .rrbs_required(BitsPerSec::from_mbps(2.0), m.per_rrb_rate)
+            .unwrap();
+        let n_hi = e
+            .rrbs_required(BitsPerSec::from_mbps(6.0), m.per_rrb_rate)
+            .unwrap();
         assert_eq!(n_lo.get(), 1, "n_lo = {n_lo}");
         assert_eq!(n_hi.get(), 2, "n_hi = {n_hi}");
     }

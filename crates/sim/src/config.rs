@@ -345,6 +345,18 @@ impl ScenarioConfig {
     /// Propagates [`Self::validate`] and
     /// [`dmra_core::ProblemInstance::build`] errors.
     pub fn build(&self) -> Result<ProblemInstance> {
+        self.build_with_threads(dmra_par::Threads::Auto)
+    }
+
+    /// [`ScenarioConfig::build`] with an explicit thread-count knob for
+    /// the candidate-link precomputation (scenario drawing itself is a
+    /// single sequential RNG pass). The result is bit-identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioConfig::build`].
+    pub fn build_with_threads(&self, threads: dmra_par::Threads) -> Result<ProblemInstance> {
         self.validate()?;
         let catalog = ServiceCatalog::new(self.n_services);
 
@@ -467,7 +479,7 @@ impl ScenarioConfig {
             })
             .collect();
 
-        ProblemInstance::build(
+        ProblemInstance::build_with_threads(
             sps,
             bss,
             ues,
@@ -475,6 +487,7 @@ impl ScenarioConfig {
             self.pricing,
             self.radio,
             self.coverage,
+            threads,
         )
     }
 }
@@ -666,10 +679,7 @@ mod tests {
             counts[ue.service.as_usize()] += 1;
         }
         // Service 0 clearly dominates service 5 under s = 1.2.
-        assert!(
-            counts[0] > 3 * counts[5],
-            "counts not skewed: {counts:?}"
-        );
+        assert!(counts[0] > 3 * counts[5], "counts not skewed: {counts:?}");
         // Zipf weights are monotone; allow sampling noise on neighbours
         // but require the broad ordering head > mid > tail.
         assert!(counts[0] > counts[2] && counts[2] > counts[5]);
@@ -737,7 +747,10 @@ mod tests {
 
     #[test]
     fn each_sp_owns_equal_bss() {
-        let inst = ScenarioConfig::paper_defaults().with_ues(10).build().unwrap();
+        let inst = ScenarioConfig::paper_defaults()
+            .with_ues(10)
+            .build()
+            .unwrap();
         for k in 0..5u32 {
             let owned = inst.bss().iter().filter(|b| b.sp.index() == k).count();
             assert_eq!(owned, 5);

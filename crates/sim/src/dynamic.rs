@@ -40,13 +40,13 @@
 
 use crate::config::ScenarioConfig;
 use dmra_core::{Allocator, Dmra};
-use std::fmt;
 use dmra_geo::rng::component_rng;
 use dmra_types::{
     BitsPerSec, BsId, BsSpec, Cru, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::fmt;
 
 /// Configuration of an online run.
 #[derive(Debug, Clone)]
@@ -157,7 +157,12 @@ impl DynamicSimulator {
         let cfg = &self.config;
         // The static deployment: build once with zero UEs to get validated
         // SPs/BSs, then treat its BS budgets as the capacity baseline.
-        let deployment = cfg.scenario.clone().with_ues(0).with_seed(cfg.seed).build()?;
+        let deployment = cfg
+            .scenario
+            .clone()
+            .with_ues(0)
+            .with_seed(cfg.seed)
+            .build()?;
         let base_bss: Vec<BsSpec> = deployment.bss().to_vec();
 
         let mut rem_cru: Vec<Vec<Cru>> = base_bss.iter().map(|b| b.cru_budget.clone()).collect();

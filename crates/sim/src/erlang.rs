@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn trunk_model_matches_first_principles() {
-        let model =
-            TrunkModel::estimate(&ScenarioConfig::paper_defaults(), 400, 3).unwrap();
+        let model = TrunkModel::estimate(&ScenarioConfig::paper_defaults(), 400, 3).unwrap();
         // 25 BSs × 55 RRBs = 1375 RRBs; tasks need 1–2 RRBs at their best
         // candidate ⇒ roughly 700–1300 effective servers.
         assert!(

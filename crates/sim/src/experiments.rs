@@ -108,11 +108,7 @@ fn ue_sweep_points(base: &ScenarioConfig) -> Vec<(f64, ScenarioConfig)> {
         .collect()
 }
 
-fn profit_vs_ues(
-    opts: &ExperimentOptions,
-    title: &str,
-    base: ScenarioConfig,
-) -> Result<Table> {
+fn profit_vs_ues(opts: &ExperimentOptions, title: &str, base: ScenarioConfig) -> Result<Table> {
     let dmra = Dmra::default();
     let dcsp = Dcsp::default();
     let nonco = NonCo::default();
@@ -194,10 +190,8 @@ fn rho_sweep(
         for r in 0..runner.replications {
             // Seed derivation matches SweepRunner::run so ρ sweeps and UE
             // sweeps draw comparable instance families.
-            let seed = dmra_geo::rng::sub_seed(
-                runner.base_seed,
-                &format!("sweep-point-{p_idx}-rep-{r}"),
-            );
+            let seed =
+                dmra_geo::rng::sub_seed(runner.base_seed, &format!("sweep-point-{p_idx}-rep-{r}"));
             let instance = base.clone().with_seed(seed).build()?;
             let allocation = dmra.allocate(&instance);
             let m = Metrics::compute(&instance, &allocation);
@@ -229,7 +223,9 @@ pub fn fig6(opts: &ExperimentOptions) -> Result<Table> {
     rho_sweep(
         opts,
         "Fig. 6: total profit of SPs vs rho (iota = 2, 1000 UEs, regular BS placement)",
-        ScenarioConfig::paper_defaults().with_iota(2.0).with_ues(1000),
+        ScenarioConfig::paper_defaults()
+            .with_iota(2.0)
+            .with_ues(1000),
         false,
     )
 }
@@ -244,7 +240,9 @@ pub fn fig7(opts: &ExperimentOptions) -> Result<Table> {
     rho_sweep(
         opts,
         "Fig. 7: total forwarded traffic load vs rho (iota = 1.1, 1000 UEs, regular BS placement)",
-        ScenarioConfig::paper_defaults().with_iota(1.1).with_ues(1000),
+        ScenarioConfig::paper_defaults()
+            .with_iota(1.1)
+            .with_ues(1000),
         true,
     )
 }
@@ -291,15 +289,12 @@ pub fn ablation_interference(opts: &ExperimentOptions) -> Result<Table> {
     for (p_idx, &n) in UE_COUNTS.iter().enumerate() {
         let mut per_series: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
         for r in 0..runner.replications {
-            let seed = dmra_geo::rng::sub_seed(
-                runner.base_seed,
-                &format!("sweep-point-{p_idx}-rep-{r}"),
-            );
+            let seed =
+                dmra_geo::rng::sub_seed(runner.base_seed, &format!("sweep-point-{p_idx}-rep-{r}"));
             for (s_idx, base) in [&noise_only, &loaded].iter().enumerate() {
                 let instance = (*base).clone().with_ues(n).with_seed(seed).build()?;
                 let allocation = dmra.allocate(&instance);
-                per_series[s_idx]
-                    .push(Metrics::compute(&instance, &allocation).total_profit.get());
+                per_series[s_idx].push(Metrics::compute(&instance, &allocation).total_profit.get());
             }
         }
         rows.push(TableRow {
@@ -331,7 +326,9 @@ pub fn iota_sweep(opts: &ExperimentOptions) -> Result<Table> {
         .map(|&iota| {
             (
                 iota,
-                ScenarioConfig::paper_defaults().with_iota(iota).with_ues(700),
+                ScenarioConfig::paper_defaults()
+                    .with_iota(iota)
+                    .with_ues(700),
             )
         })
         .collect();
@@ -367,10 +364,8 @@ pub fn online_comparison(opts: &ExperimentOptions) -> Result<Table> {
     for (p_idx, &rate) in RATES.iter().enumerate() {
         let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
         for r in 0..runner.replications {
-            let seed = dmra_geo::rng::sub_seed(
-                runner.base_seed,
-                &format!("online-point-{p_idx}-rep-{r}"),
-            );
+            let seed =
+                dmra_geo::rng::sub_seed(runner.base_seed, &format!("online-point-{p_idx}-rep-{r}"));
             for (a_idx, (_, make)) in algos.iter().enumerate() {
                 let out = DynamicSimulator::with_allocator(
                     DynamicConfig {
@@ -414,10 +409,8 @@ pub fn decentralized_cost(opts: &ExperimentOptions) -> Result<Table> {
         let mut rounds = Vec::new();
         let mut messages = Vec::new();
         for r in 0..runner.replications {
-            let seed = dmra_geo::rng::sub_seed(
-                runner.base_seed,
-                &format!("sweep-point-{p_idx}-rep-{r}"),
-            );
+            let seed =
+                dmra_geo::rng::sub_seed(runner.base_seed, &format!("sweep-point-{p_idx}-rep-{r}"));
             let instance = ScenarioConfig::paper_defaults()
                 .with_ues(n)
                 .with_seed(seed)

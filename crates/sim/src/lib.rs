@@ -45,8 +45,8 @@ mod config;
 pub mod dynamic;
 pub mod erlang;
 pub mod experiments;
-pub mod mobility;
 mod metrics;
+pub mod mobility;
 mod sweep;
 
 pub use config::{BsPlacement, ScenarioConfig, ServicePopularity, SpOverride, UePlacement};

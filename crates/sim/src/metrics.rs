@@ -43,11 +43,7 @@ impl Metrics {
         let report = instance.profit_report(allocation);
         let stats = allocation.stats(instance);
 
-        let rrb_capacity: f64 = instance
-            .bss()
-            .iter()
-            .map(|b| b.rrb_budget.as_f64())
-            .sum();
+        let rrb_capacity: f64 = instance.bss().iter().map(|b| b.rrb_budget.as_f64()).sum();
         let rrb_remaining: f64 = instance
             .remaining_rrbs(allocation)
             .iter()
@@ -107,9 +103,18 @@ fn utilization(capacity: f64, remaining: f64) -> f64 {
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "total profit:     {:.2}", self.total_profit.get())?;
-        writeln!(f, "edge served:      {} ({:.1}%)", self.edge_served, self.served_fraction * 100.0)?;
+        writeln!(
+            f,
+            "edge served:      {} ({:.1}%)",
+            self.edge_served,
+            self.served_fraction * 100.0
+        )?;
         writeln!(f, "cloud forwarded:  {}", self.cloud_forwarded)?;
-        writeln!(f, "forwarded load:   {:.1} Mbit/s", self.forwarded_load_mbps)?;
+        writeln!(
+            f,
+            "forwarded load:   {:.1} Mbit/s",
+            self.forwarded_load_mbps
+        )?;
         writeln!(f, "same-SP attach:   {:.1}%", self.same_sp_fraction * 100.0)?;
         writeln!(f, "RRB utilization:  {:.1}%", self.rrb_utilization * 100.0)?;
         writeln!(f, "CRU utilization:  {:.1}%", self.cru_utilization * 100.0)?;

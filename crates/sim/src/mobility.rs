@@ -163,9 +163,7 @@ impl MobilitySimulator {
                 initial.coverage(),
             )?;
             let allocation = match (cfg.policy, &previous) {
-                (MobilityPolicy::Sticky, Some(prev)) => {
-                    sticky_reallocate(&instance, prev, &dmra)?
-                }
+                (MobilityPolicy::Sticky, Some(prev)) => sticky_reallocate(&instance, prev, &dmra)?,
                 _ => dmra.allocate(&instance),
             };
             debug_assert!(allocation.validate(&instance).is_ok());
@@ -219,8 +217,11 @@ fn sticky_reallocate(
     previous: &Allocation,
     matcher: &Dmra,
 ) -> Result<Allocation> {
-    let mut rem_cru: Vec<Vec<Cru>> =
-        instance.bss().iter().map(|b| b.cru_budget.clone()).collect();
+    let mut rem_cru: Vec<Vec<Cru>> = instance
+        .bss()
+        .iter()
+        .map(|b| b.cru_budget.clone())
+        .collect();
     let mut rem_rrb: Vec<RrbCount> = instance.bss().iter().map(|b| b.rrb_budget).collect();
     let mut kept = Allocation::all_cloud(instance.n_ues());
     let mut rematch: Vec<UeId> = Vec::new();
@@ -292,14 +293,20 @@ mod tests {
 
     #[test]
     fn run_is_deterministic() {
-        let a = MobilitySimulator::new(config((1.0, 3.0), 6, 1)).run().unwrap();
-        let b = MobilitySimulator::new(config((1.0, 3.0), 6, 1)).run().unwrap();
+        let a = MobilitySimulator::new(config((1.0, 3.0), 6, 1))
+            .run()
+            .unwrap();
+        let b = MobilitySimulator::new(config((1.0, 3.0), 6, 1))
+            .run()
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn stationary_ues_never_hand_over() {
-        let out = MobilitySimulator::new(config((0.0, 0.0), 8, 2)).run().unwrap();
+        let out = MobilitySimulator::new(config((0.0, 0.0), 8, 2))
+            .run()
+            .unwrap();
         assert_eq!(out.handovers, 0);
         assert_eq!(out.drops, 0);
         assert_eq!(out.recoveries, 0);
@@ -310,8 +317,12 @@ mod tests {
 
     #[test]
     fn faster_ues_hand_over_more() {
-        let slow = MobilitySimulator::new(config((0.5, 1.0), 10, 3)).run().unwrap();
-        let fast = MobilitySimulator::new(config((20.0, 30.0), 10, 3)).run().unwrap();
+        let slow = MobilitySimulator::new(config((0.5, 1.0), 10, 3))
+            .run()
+            .unwrap();
+        let fast = MobilitySimulator::new(config((20.0, 30.0), 10, 3))
+            .run()
+            .unwrap();
         assert!(
             fast.handovers > slow.handovers,
             "fast {} vs slow {}",
@@ -323,7 +334,9 @@ mod tests {
 
     #[test]
     fn timeline_lengths_match_epochs() {
-        let out = MobilitySimulator::new(config((2.0, 4.0), 7, 4)).run().unwrap();
+        let out = MobilitySimulator::new(config((2.0, 4.0), 7, 4))
+            .run()
+            .unwrap();
         assert_eq!(out.served_timeline.len(), 7);
         assert_eq!(out.profit_timeline.len(), 7);
         assert!(out.profit_timeline.iter().all(|p| p.get() >= 0.0));
@@ -368,7 +381,9 @@ mod tests {
         // With a fixed population the served count is roughly stationary,
         // so cumulative drops and recoveries cannot diverge by more than
         // the served-count range.
-        let out = MobilitySimulator::new(config((10.0, 15.0), 20, 5)).run().unwrap();
+        let out = MobilitySimulator::new(config((10.0, 15.0), 20, 5))
+            .run()
+            .unwrap();
         let max = *out.served_timeline.iter().max().unwrap() as i64;
         let min = *out.served_timeline.iter().min().unwrap() as i64;
         let imbalance = (out.drops as i64 - out.recoveries as i64).abs();

@@ -3,6 +3,7 @@
 use crate::config::ScenarioConfig;
 use crate::metrics::Metrics;
 use dmra_core::{Allocation, Allocator, ProblemInstance};
+use dmra_par::{par_map_indexed, Threads};
 use dmra_types::Result;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -30,8 +31,7 @@ impl Stat {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let std_dev = if n > 1 {
-            let var =
-                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
             var.sqrt()
         } else {
             0.0
@@ -133,10 +133,7 @@ impl Table {
     pub fn to_gnuplot(&self, csv_filename: &str) -> String {
         let mut out = String::new();
         out.push_str("set datafile separator ','\n");
-        out.push_str(&format!(
-            "set title \"{}\"\n",
-            self.title.replace('"', "'")
-        ));
+        out.push_str(&format!("set title \"{}\"\n", self.title.replace('"', "'")));
         out.push_str(&format!("set xlabel \"{}\"\n", self.x_label));
         out.push_str("set key left top\nset grid\n");
         out.push_str("plot ");
@@ -208,6 +205,12 @@ fn trim_float(x: f64) -> String {
 /// Every algorithm sees the *same* instances (paired comparison), and each
 /// replication uses an independent derived seed, so tables are
 /// reproducible and differences between series are not placement noise.
+///
+/// The (point, replication) grid is fanned out over worker threads (see
+/// [`Threads`]); because every cell derives its own seed and writes only
+/// its own slot, the resulting [`Table`] is bit-identical to a serial run
+/// for any thread count — the workspace `parallelism` tests assert `==`
+/// on whole tables across thread counts.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     /// Instances drawn per sweep point (mean/std aggregate over these).
@@ -215,6 +218,11 @@ pub struct SweepRunner {
     /// Base seed; replication `r` of point `p` uses `base_seed` mixed with
     /// `(p, r)`.
     pub base_seed: u64,
+    /// Worker threads for the (point, replication) grid. Defaults to
+    /// [`Threads::Auto`] (the `DMRA_THREADS` environment variable, then
+    /// the machine's parallelism); purely a throughput knob — results do
+    /// not depend on it.
+    pub threads: Threads,
 }
 
 impl SweepRunner {
@@ -229,7 +237,15 @@ impl SweepRunner {
         Self {
             replications,
             base_seed,
+            threads: Threads::Auto,
         }
+    }
+
+    /// Returns a copy with a different thread-count knob.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Runs `algorithms` over `points` and aggregates
@@ -240,7 +256,8 @@ impl SweepRunner {
     ///
     /// # Errors
     ///
-    /// Propagates scenario build errors.
+    /// Propagates scenario build errors (the error of the first failing
+    /// grid cell in (point, replication) order, as in a serial run).
     pub fn run<F>(
         &self,
         title: impl Into<String>,
@@ -250,21 +267,39 @@ impl SweepRunner {
         metric: F,
     ) -> Result<Table>
     where
-        F: Fn(&ProblemInstance, &Allocation) -> f64,
+        F: Fn(&ProblemInstance, &Allocation) -> f64 + Sync,
     {
-        let mut rows = Vec::with_capacity(points.len());
-        for (p_idx, (x, config)) in points.iter().enumerate() {
-            let mut samples: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
-            for r in 0..self.replications {
+        let reps = self.replications as usize;
+        // One grid cell per (point, replication): build the instance from
+        // its independently derived seed and measure every algorithm on
+        // it. Cells share nothing mutable, so the fan-out is order-free.
+        let cells: Vec<Result<Vec<f64>>> =
+            par_map_indexed(self.threads, points.len() * reps, |g| {
+                let p_idx = g / reps;
+                let r = g % reps;
                 let seed = dmra_geo::rng::sub_seed(
                     self.base_seed,
                     &format!("sweep-point-{p_idx}-rep-{r}"),
                 );
-                let instance = config.clone().with_seed(seed).build()?;
-                for (a_idx, algo) in algorithms.iter().enumerate() {
-                    let allocation = algo.allocate(&instance);
-                    debug_assert!(allocation.validate(&instance).is_ok());
-                    samples[a_idx].push(metric(&instance, &allocation));
+                let instance = points[p_idx].1.clone().with_seed(seed).build()?;
+                Ok(algorithms
+                    .iter()
+                    .map(|algo| {
+                        let allocation = algo.allocate(&instance);
+                        debug_assert!(allocation.validate(&instance).is_ok());
+                        metric(&instance, &allocation)
+                    })
+                    .collect())
+            });
+
+        let mut cells = cells.into_iter();
+        let mut rows = Vec::with_capacity(points.len());
+        for (x, _) in points {
+            let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); algorithms.len()];
+            for _ in 0..reps {
+                let values = cells.next().expect("one cell per (point, rep)")?;
+                for (a_idx, value) in values.into_iter().enumerate() {
+                    samples[a_idx].push(value);
                 }
             }
             rows.push(TableRow {
@@ -340,6 +375,25 @@ mod tests {
         assert_eq!(single.std_dev, 0.0);
     }
 
+    #[test]
+    fn single_sample_std_dev_is_zero_not_nan() {
+        // n = 1 would divide by n - 1 = 0 in the sample-variance formula;
+        // the guard must yield an exact 0.0, never NaN, so single-
+        // replication sweeps render and serialize cleanly.
+        let s = Stat::from_samples(&[123.456]);
+        assert_eq!(s.mean, 123.456);
+        assert_eq!(s.std_dev, 0.0);
+        assert!(!s.std_dev.is_nan());
+        assert_eq!(s.n, 1);
+        assert_eq!(s.to_string(), "123.46 ± 0.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = Stat::from_samples(&[]);
+    }
+
     fn tiny_points() -> Vec<(f64, ScenarioConfig)> {
         [30usize, 60]
             .iter()
@@ -370,12 +424,8 @@ mod tests {
         let runner = SweepRunner::new(2, 7);
         let dmra = Dmra::default();
         let algos: Vec<&dyn Allocator> = vec![&dmra];
-        let a = runner
-            .run_profit("t", "x", &tiny_points(), &algos)
-            .unwrap();
-        let b = runner
-            .run_profit("t", "x", &tiny_points(), &algos)
-            .unwrap();
+        let a = runner.run_profit("t", "x", &tiny_points(), &algos).unwrap();
+        let b = runner.run_profit("t", "x", &tiny_points(), &algos).unwrap();
         assert_eq!(a, b);
     }
 

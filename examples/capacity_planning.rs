@@ -26,9 +26,11 @@ fn main() -> Result<(), dmra::types::Error> {
     }
     println!();
 
-    for (label, rows, cols, bss_per_sp) in
-        [("4x5 (20)", 4u32, 5u32, 4u32), ("5x5 (25)", 5, 5, 5), ("6x5 (30)", 6, 5, 6)]
-    {
+    for (label, rows, cols, bss_per_sp) in [
+        ("4x5 (20)", 4u32, 5u32, 4u32),
+        ("5x5 (25)", 5, 5, 5),
+        ("6x5 (30)", 6, 5, 6),
+    ] {
         print!("{label:>12}");
         for rate in rates {
             let mut ratio_sum = 0.0;

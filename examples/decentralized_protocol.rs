@@ -70,7 +70,10 @@ fn main() -> Result<(), dmra::types::Error> {
     // Fail-stop crashes: kill BSs before round 0; UEs time out, presume
     // them dead after three retries, and fail over.
     println!("\nfail-stop crashes (reliable channel):");
-    println!("{:>12} {:>8} {:>8} {:>10}", "crashed BSs", "rounds", "served", "profit");
+    println!(
+        "{:>12} {:>8} {:>8} {:>10}",
+        "crashed BSs", "rounds", "served", "profit"
+    );
     for n_dead in [0usize, 2, 5, 8] {
         let crashed: Vec<(BsId, usize)> = (0..n_dead as u32)
             .map(|i| (BsId::new(i * 3), 0)) // spread the dead BSs around

@@ -39,8 +39,8 @@ fn main() -> Result<(), dmra::types::Error> {
             .run()?;
             let mean_profit = out.profit_timeline.iter().map(|p| p.get()).sum::<f64>()
                 / out.profit_timeline.len() as f64;
-            let mean_served = out.served_timeline.iter().sum::<usize>() as f64
-                / out.served_timeline.len() as f64;
+            let mean_served =
+                out.served_timeline.iter().sum::<usize>() as f64 / out.served_timeline.len() as f64;
             println!(
                 "{:>8} m/s {:>8} | {:>10} {:>10.4} | {:>12.1} {:>12.1}",
                 speed,

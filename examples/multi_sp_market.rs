@@ -8,9 +8,9 @@
 //! cargo run --release --example multi_sp_market
 //! ```
 
-use dmra::prelude::*;
 use dmra::core::CoverageModel;
 use dmra::econ::PricingConfig;
+use dmra::prelude::*;
 use dmra::radio::RadioConfig;
 use dmra::types::{BsSpec, ServiceCatalog, SpSpec, UeSpec};
 use dmra_geo::rng::component_rng;

@@ -33,7 +33,10 @@ fn main() -> Result<(), dmra::types::Error> {
         ),
     ] {
         println!("== {label} (iota = 1.1, 1000 UEs, regular grid) ==");
-        println!("{:>6} {:>14} {:>20} {:>12}", "rho", "profit", "forwarded (Mbit/s)", "served");
+        println!(
+            "{:>6} {:>14} {:>20} {:>12}",
+            "rho", "profit", "forwarded (Mbit/s)", "served"
+        );
         for &rho in &rhos {
             let mut profit = 0.0;
             let mut forwarded = 0.0;

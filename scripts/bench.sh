@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Performance tracking: the criterion wall-clock benches, then the
+# machine-readable sweep/build/solver measurement that (re)writes
+# BENCH_sweep.json at the workspace root. Extra arguments are forwarded
+# to `cargo bench` (e.g. a bench name filter).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p dmra-bench "$@"
+cargo run --release -p dmra-bench --bin figures -- bench

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints as errors, and the whole-workspace
+# test suite. CI and pre-commit should both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -16,8 +16,7 @@ fn decentralized_equals_centralized_at_paper_scale() {
             .unwrap();
         let config = DmraConfig::paper_defaults();
         let central = Dmra::new(config).allocate(&instance);
-        let out =
-            run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
+        let out = run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
         assert_eq!(
             out.allocation, central,
             "divergence at n_ues={n_ues} seed={seed}"
@@ -43,8 +42,8 @@ fn decentralized_equivalence_holds_across_configs() {
                 ..DmraConfig::paper_defaults()
             };
             let central = Dmra::new(config).allocate(&instance);
-            let out = run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000)
-                .unwrap();
+            let out =
+                run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
             assert_eq!(
                 out.allocation, central,
                 "divergence at rho={rho} same_sp={same_sp}"
@@ -109,11 +108,9 @@ fn lossy_channels_recover_most_assignments() {
         .build()
         .unwrap();
     let config = DmraConfig::paper_defaults();
-    let reliable =
-        run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
+    let reliable = run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
     let baseline = reliable.allocation.edge_served();
-    let out =
-        run_decentralized(&instance, &config, DropPolicy::new(0.10, 7), 100_000).unwrap();
+    let out = run_decentralized(&instance, &config, DropPolicy::new(0.10, 7), 100_000).unwrap();
     let lossy = out.allocation.edge_served();
     assert!(
         lossy as f64 >= 0.9 * baseline as f64,
@@ -132,8 +129,7 @@ fn delayed_channels_at_paper_scale_stay_safe_and_serve() {
         .build()
         .unwrap();
     let config = DmraConfig::paper_defaults();
-    let reliable =
-        run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
+    let reliable = run_decentralized(&instance, &config, DropPolicy::reliable(), 100_000).unwrap();
     for delay in [
         DelayModel::Fixed { extra: 2 },
         DelayModel::Random {
@@ -141,19 +137,13 @@ fn delayed_channels_at_paper_scale_stay_safe_and_serve() {
             seed: 5,
         },
     ] {
-        let out = run_decentralized_with(
-            &instance,
-            &config,
-            DropPolicy::reliable(),
-            delay,
-            200_000,
-        )
-        .unwrap();
+        let out =
+            run_decentralized_with(&instance, &config, DropPolicy::reliable(), delay, 200_000)
+                .unwrap();
         out.allocation.validate(&instance).unwrap();
         // Latency slows convergence but must not destroy coverage.
         assert!(
-            out.allocation.edge_served() as f64
-                >= 0.9 * reliable.allocation.edge_served() as f64,
+            out.allocation.edge_served() as f64 >= 0.9 * reliable.allocation.edge_served() as f64,
             "served {} vs reliable {}",
             out.allocation.edge_served(),
             reliable.allocation.edge_served()

@@ -17,10 +17,9 @@ fn online_dmra_beats_online_nonco_on_identical_traces() {
             seed: 41,
         };
         let dmra = DynamicSimulator::new(config.clone()).run().unwrap();
-        let nonco =
-            DynamicSimulator::with_allocator(config, Box::new(NonCo::default()))
-                .run()
-                .unwrap();
+        let nonco = DynamicSimulator::with_allocator(config, Box::new(NonCo::default()))
+            .run()
+            .unwrap();
         assert_eq!(dmra.arrivals, nonco.arrivals, "traces must match");
         assert!(
             dmra.total_profit > nonco.total_profit,

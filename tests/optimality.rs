@@ -4,8 +4,8 @@
 //! of the paper scenario (2 SPs × 4 BSs); the qualitative question —
 //! how much profit does decentralization cost? — transfers.
 
-use dmra::prelude::*;
 use dmra::baselines::ExactOptimal;
+use dmra::prelude::*;
 use dmra::sim::BsPlacement;
 use dmra_core::DmraConfig;
 

@@ -1,0 +1,117 @@
+//! Bit-identical parallel execution.
+//!
+//! The fan-out layer (`dmra-par`) only ever reorders *work*, never
+//! results: sweep grid cells derive independent seeds and per-UE candidate
+//! rows are pure functions of the instance inputs, so every thread count
+//! must produce exactly the same bytes. These tests pin that guarantee at
+//! paper scale, for the thread counts a laptop and a CI runner would use.
+
+use dmra_core::{Allocator, Dmra, Threads};
+use dmra_radio::InterferenceModel;
+use dmra_sim::{ScenarioConfig, SweepRunner};
+use dmra_types::{BsId, UeId};
+
+fn points(ue_counts: &[usize]) -> Vec<(f64, ScenarioConfig)> {
+    ue_counts
+        .iter()
+        .map(|&n| (n as f64, ScenarioConfig::paper_defaults().with_ues(n)))
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_tables_are_bit_identical_to_serial() {
+    let points = points(&[150, 300]);
+    let dmra = Dmra::default();
+    let nonco = dmra_baselines::NonCo::default();
+    let algos: Vec<&dyn Allocator> = vec![&dmra, &nonco];
+    let runner = SweepRunner::new(3, 42);
+    let serial = runner
+        .with_threads(Threads::serial())
+        .run_profit("t", "#UEs", &points, &algos)
+        .unwrap();
+    for threads in [2usize, 4, 7] {
+        let par = runner
+            .with_threads(Threads::Fixed(threads))
+            .run_profit("t", "#UEs", &points, &algos)
+            .unwrap();
+        assert_eq!(par, serial, "table diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_serial_for_custom_metrics_too() {
+    // A different metric closure (forwarded load) and a different grid
+    // shape, to make sure the equality is not specific to run_profit.
+    let points = points(&[200]);
+    let dmra = Dmra::default();
+    let algos: Vec<&dyn Allocator> = vec![&dmra];
+    let runner = SweepRunner::new(4, 7);
+    let serial = runner
+        .with_threads(Threads::serial())
+        .run_forwarded_load("t", "#UEs", &points, &algos)
+        .unwrap();
+    let par = runner
+        .with_threads(Threads::Fixed(3))
+        .run_forwarded_load("t", "#UEs", &points, &algos)
+        .unwrap();
+    assert_eq!(par, serial);
+}
+
+#[test]
+fn parallel_instance_build_is_bit_identical() {
+    // Interference on, so the parallel per-BS aggregate-power pass is
+    // exercised alongside the per-UE candidate rows.
+    let mut cfg = ScenarioConfig::paper_defaults().with_ues(700).with_seed(9);
+    cfg.radio.interference = InterferenceModel::LoadProportional { factor: 0.01 };
+    let serial = cfg.build_with_threads(Threads::serial()).unwrap();
+    for threads in [2usize, 5] {
+        let par = cfg.build_with_threads(Threads::Fixed(threads)).unwrap();
+        for u in 0..serial.n_ues() {
+            let ue = UeId::new(u as u32);
+            assert_eq!(
+                serial.candidates(ue),
+                par.candidates(ue),
+                "candidates of {ue} diverged at {threads} threads"
+            );
+            assert_eq!(serial.f_u(ue), par.f_u(ue));
+        }
+        for b in 0..serial.n_bss() {
+            let bs = BsId::new(b as u32);
+            assert_eq!(
+                serial.covered_ues(bs),
+                par.covered_ues(bs),
+                "covered_ues of {bs} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_solver_matches_reference_at_paper_scale() {
+    // The dense-state rewrite of Algorithm 1 must reproduce the full
+    // outcome (allocation, iterations, proposals, acceptance timeline) of
+    // the line-by-line transcription it replaced.
+    for (n_ues, seed, rho) in [(400usize, 1u64, 100.0), (900, 5, 0.0), (900, 5, 1000.0)] {
+        let instance = ScenarioConfig::paper_defaults()
+            .with_ues(n_ues)
+            .with_seed(seed)
+            .build()
+            .unwrap();
+        let dmra = Dmra::new(dmra_core::DmraConfig::paper_defaults().with_rho(rho));
+        let fast = dmra.solve(&instance).unwrap();
+        let reference = dmra.solve_reference(&instance).unwrap();
+        assert_eq!(fast, reference, "n_ues={n_ues} seed={seed} rho={rho}");
+    }
+}
+
+#[test]
+fn dmra_threads_env_is_honored_by_auto() {
+    // Benign to run alongside the other tests: the knob only moves work
+    // across threads, never results.
+    std::env::set_var("DMRA_THREADS", "3");
+    assert_eq!(Threads::Auto.resolve(), 3);
+    std::env::set_var("DMRA_THREADS", "not-a-number");
+    assert!(Threads::Auto.resolve() >= 1, "garbage falls back to auto");
+    std::env::remove_var("DMRA_THREADS");
+    assert!(Threads::Auto.resolve() >= 1);
+}

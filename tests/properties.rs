@@ -8,15 +8,15 @@ use proptest::prelude::*;
 /// A generator of small but structurally diverse scenarios.
 fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
     (
-        1u32..4,          // n_sps
-        1u32..4,          // bss_per_sp
-        1u32..5,          // n_services
-        1usize..120,      // n_ues
-        prop::bool::ANY,  // random placement
+        1u32..4,         // n_sps
+        1u32..4,         // bss_per_sp
+        1u32..5,         // n_services
+        1usize..120,     // n_ues
+        prop::bool::ANY, // random placement
         // Constraint (16) with b = 2 and m_k − m_k^o = 7 requires
         // ι·b + d^σ·b < 7, i.e. ι < ~2.4 at the largest region distances.
-        1.05f64..2.2,     // iota
-        0u64..1000,       // seed
+        1.05f64..2.2, // iota
+        0u64..1000,   // seed
     )
         .prop_map(
             |(n_sps, bss_per_sp, n_services, n_ues, random, iota, seed)| {
@@ -175,10 +175,8 @@ fn baselines_never_strand_serveable_ues() {
         .with_seed(3)
         .build()
         .unwrap();
-    let algos: Vec<Box<dyn Allocator>> = vec![
-        Box::new(Dcsp::default()),
-        Box::new(NonCo::default()),
-    ];
+    let algos: Vec<Box<dyn Allocator>> =
+        vec![Box::new(Dcsp::default()), Box::new(NonCo::default())];
     for algo in algos {
         let allocation = algo.allocate(&instance);
         let rem_cru = instance.remaining_cru(&allocation);

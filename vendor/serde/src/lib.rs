@@ -1,0 +1,17 @@
+//! Offline stub of the [`serde`](https://crates.io/crates/serde) facade.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no in-tree
+//! code serializes through serde), so offline builds need nothing more
+//! than the trait names and derive macros that expand to nothing. The
+//! `derive` feature exists so dependents can keep
+//! `features = ["derive"]` in their manifests.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented in-tree).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented in-tree).
+pub trait Deserialize<'de>: Sized {}

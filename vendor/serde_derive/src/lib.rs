@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives the serde traits on its data types for
+//! downstream consumers, but nothing in-tree serializes through serde
+//! (the few JSON artifacts are emitted by hand). Offline, these derives
+//! expand to nothing; the `#[serde(...)]` helper attributes are accepted
+//! and ignored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
