@@ -9,12 +9,15 @@
 //!
 //! Markdown tables go to stdout; CSVs are written to `results/<name>.csv`.
 //! The `bench` job instead times the sweep engine (serial vs threaded,
-//! asserting bit-identical tables), the instance builder and the dense
-//! DMRA solver against its reference, and writes `BENCH_sweep.json`.
+//! asserting bit-identical tables), the instance builder, the dense
+//! DMRA solver against its reference, and the incremental online engine
+//! against the scratch rebuild loop, writing `BENCH_sweep.json` and
+//! `BENCH_dynamic.json`.
 
 use dmra_baselines::{Dcsp, NonCo};
 use dmra_bench::bench_instance;
 use dmra_core::{Allocator, Dmra, Threads};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
 use dmra_sim::experiments::{self, ExperimentOptions};
 use dmra_sim::{ScenarioConfig, SweepRunner, Table};
 use std::fs;
@@ -182,6 +185,64 @@ fn bench_mode() {
     );
     fs::write("BENCH_sweep.json", &json).expect("can write BENCH_sweep.json");
     eprintln!("wrote BENCH_sweep.json");
+
+    bench_dynamic();
+}
+
+/// Times the incremental online engine against the scratch rebuild loop
+/// at paper scale and writes `BENCH_dynamic.json`.
+///
+/// Both engines must produce bit-identical `DynamicOutcome`s — the run
+/// aborts on mismatch, so the speedup figure is never bought with a
+/// behaviour change.
+fn bench_dynamic() {
+    let mut rows = String::new();
+    for &(arrival_rate, epochs) in &[(120.0f64, 200usize), (300.0, 200)] {
+        let config = DynamicConfig {
+            scenario: ScenarioConfig::paper_defaults(),
+            arrival_rate,
+            mean_holding: 5.0,
+            epochs,
+            seed: 11,
+        };
+        let sim = DynamicSimulator::new(config);
+        let (scratch_out, _) = timed(|| sim.run_scratch().expect("scratch engine runs"));
+        let (incremental_out, _) = timed(|| sim.run().expect("incremental engine runs"));
+        assert_eq!(
+            incremental_out, scratch_out,
+            "incremental engine diverged from scratch at rate {arrival_rate}"
+        );
+        let scratch_secs = best_of(3, || sim.run_scratch().expect("scratch engine runs"));
+        let incremental_secs = best_of(3, || sim.run().expect("incremental engine runs"));
+        let speedup = scratch_secs / incremental_secs;
+        let epochs_per_sec = epochs as f64 / incremental_secs;
+        let arrivals_per_sec = incremental_out.arrivals as f64 / incremental_secs;
+        eprintln!(
+            "dynamic rate {arrival_rate}, {epochs} epochs ({} arrivals): \
+             scratch {scratch_secs:.4} s, incremental {incremental_secs:.4} s \
+             ({speedup:.1}x, {epochs_per_sec:.0} epochs/s, {arrivals_per_sec:.0} arrivals/s)",
+            incremental_out.arrivals
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"arrival_rate\": {arrival_rate}, \"epochs\": {epochs}, \
+             \"arrivals\": {}, \"scratch_secs\": {scratch_secs:.4}, \
+             \"incremental_secs\": {incremental_secs:.4}, \"speedup\": {speedup:.2}, \
+             \"epochs_per_sec\": {epochs_per_sec:.1}, \
+             \"arrivals_per_sec\": {arrivals_per_sec:.1}, \
+             \"identical_outcome\": true }}",
+            incremental_out.arrivals
+        ));
+    }
+    let json = format!(
+        "{{\n  \"title\": \"online arrival/departure regime, incremental engine \
+         vs full residual rebuild (DMRA allocator, paper deployment)\",\n  \
+         \"runs\": [\n{rows}\n  ]\n}}\n"
+    );
+    fs::write("BENCH_dynamic.json", &json).expect("can write BENCH_dynamic.json");
+    eprintln!("wrote BENCH_dynamic.json");
 }
 
 fn run_job(job: &str, opts: &ExperimentOptions) -> Result<Table, String> {

@@ -38,6 +38,7 @@ pub fn help_text() -> String {
      \t--holding X    mean holding epochs         (default 5)\n\
      \t--epochs N     horizon                     (default 50)\n\
      \t--seed S                                   (default 42)\n\
+     \t--engine E     incremental | scratch       (default incremental; identical results)\n\
      mobility  moving UEs, handover statistics\n\
      \t--ues N --speed MPS --epochs N --seed S    (defaults 300, 5, 30, 42)\n\
      \t--policy P     full | sticky               (default full)\n\
@@ -227,7 +228,15 @@ fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["rate", "holding", "epochs", "seed", "iota", "placement"])?;
+    parsed.expect_keys(&[
+        "rate",
+        "holding",
+        "epochs",
+        "seed",
+        "iota",
+        "placement",
+        "engine",
+    ])?;
     let config = DynamicConfig {
         scenario: scenario_from(parsed)?,
         arrival_rate: parsed.get_or("rate", 40.0f64)?,
@@ -235,9 +244,19 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         epochs: parsed.get_or("epochs", 50usize)?,
         seed: parsed.get_or("seed", 42u64)?,
     };
-    let out = DynamicSimulator::new(config)
-        .run()
-        .map_err(|e| ArgError(e.to_string()))?;
+    let simulator = DynamicSimulator::new(config);
+    // Both engines are bit-identical; `scratch` is the slow executable
+    // specification, exposed for spot-checks and benchmarking.
+    let out = match parsed.get("engine").unwrap_or("incremental") {
+        "incremental" => simulator.run(),
+        "scratch" => simulator.run_scratch(),
+        other => {
+            return Err(ArgError(format!(
+                "--engine must be 'incremental' or 'scratch', got '{other}'"
+            )))
+        }
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     Ok(format!(
         "arrivals:          {}\nadmitted:          {} ({:.1}%)\ncloud forwarded:   {}\n\
          completed:         {}\ntotal profit:      {:.1}\nsteady-state RRB:  {:.1}%\n",
@@ -389,6 +408,20 @@ mod tests {
         .unwrap();
         assert!(text.contains("admitted"));
         assert!(text.contains("steady-state"));
+    }
+
+    #[test]
+    fn dynamic_engines_print_identical_reports() {
+        let args = ["--rate", "15", "--epochs", "12", "--holding", "3"];
+        let incremental = run(&[&["dynamic", "--engine", "incremental"], &args[..]].concat());
+        let scratch = run(&[&["dynamic", "--engine", "scratch"], &args[..]].concat());
+        assert_eq!(incremental.unwrap(), scratch.unwrap());
+    }
+
+    #[test]
+    fn dynamic_rejects_unknown_engine() {
+        let err = run(&["dynamic", "--engine", "warp"]).unwrap_err();
+        assert!(err.to_string().contains("--engine"));
     }
 
     #[test]

@@ -22,6 +22,38 @@ pub trait Allocator: Send + Sync {
 
     /// Computes an assignment for the instance.
     fn allocate(&self, instance: &ProblemInstance) -> Allocation;
+
+    /// Opens a reusable solve session for repeated calls against instances
+    /// of the same deployment (the online simulator solves one batch per
+    /// epoch, thousands of times per run).
+    ///
+    /// A session may carry scratch state between calls — [`crate::Dmra`]
+    /// keeps its dense solver workspace alive so per-epoch solves stop
+    /// allocating — but every call must return exactly what
+    /// [`Allocator::allocate`] would return on the same instance; the
+    /// `incremental` integration tests enforce this equality for every
+    /// shipped allocator. The default session is stateless and simply
+    /// forwards to [`Allocator::allocate`].
+    fn session(&self) -> Box<dyn AllocatorSession + '_> {
+        Box::new(StatelessSession(self))
+    }
+}
+
+/// A per-run solve handle created by [`Allocator::session`], free to keep
+/// reusable scratch buffers across calls (hence `&mut self`).
+pub trait AllocatorSession {
+    /// Computes an assignment for the instance — identical to what the
+    /// parent allocator's [`Allocator::allocate`] would return.
+    fn allocate(&mut self, instance: &ProblemInstance) -> Allocation;
+}
+
+/// The default [`AllocatorSession`]: no state, forwards every call.
+struct StatelessSession<'a, A: Allocator + ?Sized>(&'a A);
+
+impl<A: Allocator + ?Sized> AllocatorSession for StatelessSession<'_, A> {
+    fn allocate(&mut self, instance: &ProblemInstance) -> Allocation {
+        self.0.allocate(instance)
+    }
 }
 
 #[cfg(test)]
@@ -43,5 +75,17 @@ mod tests {
     fn trait_is_object_safe() {
         let boxed: Box<dyn Allocator> = Box::new(CloudEverything);
         assert_eq!(boxed.name(), "cloud-everything");
+    }
+
+    #[test]
+    fn default_session_matches_allocate() {
+        let inst = crate::instance::tests::two_sp_instance();
+        let boxed: Box<dyn Allocator> = Box::new(CloudEverything);
+        let mut session = boxed.session();
+        // Repeated calls through the stateless default keep matching the
+        // one-shot entry point.
+        for _ in 0..3 {
+            assert_eq!(session.allocate(&inst), boxed.allocate(&inst));
+        }
     }
 }

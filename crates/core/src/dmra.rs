@@ -26,7 +26,7 @@
 //! allocations (see `tests/` at the workspace root).
 
 use crate::allocation::Allocation;
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, AllocatorSession};
 use crate::instance::{CandidateLink, ProblemInstance};
 use dmra_types::{BsId, Cru, Error, Result, RrbCount, UeId};
 use serde::{Deserialize, Serialize};
@@ -125,6 +125,25 @@ impl Dmra {
     /// Returns [`Error::NonTermination`] if `max_iterations` elapses — this
     /// indicates a bug, as the algorithm provably terminates.
     pub fn solve(&self, instance: &ProblemInstance) -> Result<DmraOutcome> {
+        self.solve_with_workspace(instance, &mut DmraWorkspace::default())
+    }
+
+    /// [`Dmra::solve`] against a caller-owned [`DmraWorkspace`], so
+    /// repeated solves (one per epoch in the online simulator) reuse every
+    /// scratch buffer instead of reallocating them. The result is the
+    /// workspace-independent [`DmraOutcome`] — a fresh workspace, a reused
+    /// one, and one previously used on a *different* instance all produce
+    /// identical outcomes (unit tests pin this down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonTermination`] if `max_iterations` elapses — this
+    /// indicates a bug, as the algorithm provably terminates.
+    pub fn solve_with_workspace(
+        &self,
+        instance: &ProblemInstance,
+        ws: &mut DmraWorkspace,
+    ) -> Result<DmraOutcome> {
         let n_ues = instance.n_ues();
         let n_bss = instance.n_bss();
         let n_svcs = instance.catalog().len() as usize;
@@ -133,50 +152,73 @@ impl Dmra {
         // Dense remaining-resource caches, flattened `[bs * n_svcs + svc]`
         // (`Cru` and `RrbCount` are plain u32 wrappers, so raw u32
         // arithmetic reproduces `MatchState` exactly).
-        let mut rem_cru: Vec<u32> = Vec::with_capacity(n_bss * n_svcs);
-        let mut rem_rrb: Vec<u32> = Vec::with_capacity(n_bss);
+        ws.rem_cru.clear();
+        ws.rem_rrb.clear();
         for bs in instance.bss() {
-            rem_cru.extend(bs.cru_budget.iter().map(|c| c.get()));
-            rem_rrb.push(bs.rrb_budget.get());
+            ws.rem_cru.extend(bs.cru_budget.iter().map(|c| c.get()));
+            ws.rem_rrb.push(bs.rrb_budget.get());
         }
+        let rem_cru = &mut ws.rem_cru;
+        let rem_rrb = &mut ws.rem_rrb;
 
         // Flattened candidate windows: UE `u` owns
         // `cands[start[u] .. start[u] + len[u]]`; pruning swaps the pruned
         // entry to the window tail and shrinks the window. The arg-min
         // below has a unique (value, bs) key per entry, so the reordering
         // never changes which candidate is selected.
-        let mut cands: Vec<DenseCand> = Vec::new();
-        let mut start: Vec<usize> = Vec::with_capacity(n_ues);
-        let mut len: Vec<usize> = Vec::with_capacity(n_ues);
+        ws.cands.clear();
+        ws.start.clear();
+        ws.len.clear();
         for u in 0..n_ues {
             let row = instance.candidates(UeId::new(u as u32));
-            start.push(cands.len());
-            len.push(row.len());
-            cands.extend(row.iter().map(|l| DenseCand {
+            ws.start.push(ws.cands.len());
+            ws.len.push(row.len());
+            ws.cands.extend(row.iter().map(|l| DenseCand {
                 bs: l.bs.index(),
                 n_rrbs: l.n_rrbs.get(),
                 price: l.price.get(),
                 same_sp: l.same_sp,
             }));
         }
-        let svc: Vec<usize> = ues.iter().map(|ue| ue.service.as_usize()).collect();
-        let cru_demand: Vec<u32> = ues.iter().map(|ue| ue.cru_demand.get()).collect();
-        let f_u: Vec<u32> = (0..n_ues)
-            .map(|u| instance.f_u(UeId::new(u as u32)))
-            .collect();
+        let cands = &mut ws.cands;
+        let start = &ws.start;
+        let len = &mut ws.len;
+        ws.svc.clear();
+        ws.svc.extend(ues.iter().map(|ue| ue.service.as_usize()));
+        let svc = &ws.svc;
+        ws.cru_demand.clear();
+        ws.cru_demand
+            .extend(ues.iter().map(|ue| ue.cru_demand.get()));
+        let cru_demand = &ws.cru_demand;
+        ws.f_u.clear();
+        ws.f_u
+            .extend((0..n_ues).map(|u| instance.f_u(UeId::new(u as u32))));
+        let f_u = &ws.f_u;
 
+        // `assigned` moves into the outcome's `Allocation`, so it is the
+        // one per-solve allocation that cannot live in the workspace.
         let mut assigned: Vec<Option<BsId>> = vec![None; n_ues];
-        let mut cloud: Vec<bool> = vec![false; n_ues];
+        ws.cloud.clear();
+        ws.cloud.resize(n_ues, false);
+        let cloud = &mut ws.cloud;
         let mut proposals_total = 0u64;
         let mut acceptances: Vec<usize> = Vec::new();
 
         // Reusable proposal buckets, one per (bs, service) pair; `touched`
         // lists the buckets filled this iteration (sorted before the BS
         // side so it walks (bs, service) in exactly the order the
-        // reference's nested BTreeMaps would).
-        let mut buckets: Vec<Vec<DenseProposal>> = vec![Vec::new(); n_bss * n_svcs];
-        let mut touched: Vec<usize> = Vec::new();
-        let mut winners: Vec<DenseProposal> = Vec::new();
+        // reference's nested BTreeMaps would). Every bucket is empty
+        // between solves (each iteration drains the buckets it touched),
+        // so reuse only needs to grow the slot table.
+        if ws.buckets.len() < n_bss * n_svcs {
+            ws.buckets.resize_with(n_bss * n_svcs, Vec::new);
+        }
+        debug_assert!(ws.buckets.iter().all(Vec::is_empty));
+        let buckets = &mut ws.buckets;
+        ws.touched.clear();
+        let touched = &mut ws.touched;
+        ws.winners.clear();
+        let winners = &mut ws.winners;
 
         for iteration in 1..=self.config.max_iterations {
             // ---- UE side: lines 3–10 ----
@@ -289,7 +331,7 @@ impl Dmra {
                     accepted_this_iteration += 1;
                 }
             }
-            for &slot in &touched {
+            for &slot in touched.iter() {
                 buckets[slot].clear();
             }
             touched.clear();
@@ -422,6 +464,66 @@ impl Allocator for Dmra {
     /// bug in the matcher (the algorithm provably terminates).
     fn allocate(&self, instance: &ProblemInstance) -> Allocation {
         self.solve(instance)
+            .expect("DMRA terminates within its iteration bound")
+            .allocation
+    }
+
+    /// DMRA's session keeps a [`DmraWorkspace`] alive across calls, so a
+    /// per-epoch solve in the online simulator touches the heap only for
+    /// the outcome it returns.
+    fn session(&self) -> Box<dyn AllocatorSession + '_> {
+        Box::new(DmraSession {
+            dmra: *self,
+            workspace: DmraWorkspace::default(),
+        })
+    }
+}
+
+/// Reusable scratch state of the dense [`Dmra::solve`] execution.
+///
+/// Every field is sized/overwritten at the start of a solve, so a
+/// workspace can be reused freely across instances of different shapes;
+/// it never influences the outcome. The proposal buckets rely on the
+/// solver's drain discipline (all buckets empty between solves), which a
+/// `debug_assert` re-checks on entry.
+#[derive(Debug, Clone, Default)]
+pub struct DmraWorkspace {
+    /// Remaining CRUs, flattened `[bs * n_svcs + svc]`.
+    rem_cru: Vec<u32>,
+    /// Remaining RRBs per BS.
+    rem_rrb: Vec<u32>,
+    /// Flattened per-UE candidate windows.
+    cands: Vec<DenseCand>,
+    /// Window start of each UE in `cands`.
+    start: Vec<usize>,
+    /// Live window length of each UE.
+    len: Vec<usize>,
+    /// Requested service index per UE.
+    svc: Vec<usize>,
+    /// CRU demand per UE.
+    cru_demand: Vec<u32>,
+    /// `f_u` per UE.
+    f_u: Vec<u32>,
+    /// Cloud-forwarded flags per UE.
+    cloud: Vec<bool>,
+    /// Proposal buckets, one per `(bs, service)` slot.
+    buckets: Vec<Vec<DenseProposal>>,
+    /// Bucket slots filled in the current iteration.
+    touched: Vec<usize>,
+    /// Per-BS winner scratch for the admission step.
+    winners: Vec<DenseProposal>,
+}
+
+/// The [`AllocatorSession`] of [`Dmra`]: config plus a live workspace.
+struct DmraSession {
+    dmra: Dmra,
+    workspace: DmraWorkspace,
+}
+
+impl AllocatorSession for DmraSession {
+    fn allocate(&mut self, instance: &ProblemInstance) -> Allocation {
+        self.dmra
+            .solve_with_workspace(instance, &mut self.workspace)
             .expect("DMRA terminates within its iteration bound")
             .allocation
     }
@@ -788,6 +890,35 @@ mod tests {
             let fast = dmra.solve(inst).unwrap();
             let reference = dmra.solve_reference(inst).unwrap();
             assert_eq!(fast, reference, "scenario #{i} diverged");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_never_changes_the_outcome() {
+        // One workspace dragged across instances of different shapes and
+        // configs must reproduce the fresh-workspace outcome every time.
+        let instances = [
+            two_sp_instance(),
+            contested_instance(1),
+            contested_instance(0),
+            two_sp_instance(),
+            contested_instance(55),
+        ];
+        let mut ws = DmraWorkspace::default();
+        for (i, inst) in instances.iter().enumerate() {
+            let dmra = Dmra::default();
+            let reused = dmra.solve_with_workspace(inst, &mut ws).unwrap();
+            let fresh = dmra.solve(inst).unwrap();
+            assert_eq!(reused, fresh, "instance #{i} diverged under reuse");
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_allocate() {
+        let dmra = Dmra::default();
+        let mut session = dmra.session();
+        for inst in [two_sp_instance(), contested_instance(1), two_sp_instance()] {
+            assert_eq!(session.allocate(&inst), dmra.allocate(&inst));
         }
     }
 

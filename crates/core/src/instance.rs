@@ -1,6 +1,7 @@
 //! The validated, immutable problem input.
 
 use dmra_econ::{PricingConfig, ProfitLedger, ProfitReport};
+use dmra_geo::GridIndex;
 use dmra_par::{par_map_indexed, Threads};
 use dmra_radio::{InterferenceModel, LinkEvaluator, RadioConfig};
 use dmra_types::{
@@ -36,6 +37,27 @@ impl Default for CoverageModel {
     }
 }
 
+/// How candidate generation enumerates the potential serving BSs of a UE.
+///
+/// Under [`CoverageModel::FixedRadius`] every BS farther than the radius
+/// fails the coverage check anyway, so a [`GridIndex`] radius query can
+/// skip them without evaluating a single link. The query returns indices
+/// in ascending order — the same order the exhaustive loop visits BSs —
+/// and uses the identical `distance ≤ r` predicate on the identical
+/// (symmetric, `hypot`-based) distance, so the surviving candidate rows
+/// are bit-for-bit the rows the exhaustive scan produces. The
+/// `incremental` integration tests pin this equality at paper scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateScan {
+    /// Prune with a spatial index when the coverage model allows it
+    /// (fixed radius, positive and finite); otherwise scan exhaustively.
+    #[default]
+    Auto,
+    /// Always evaluate every BS — the original O(U×B) loop, kept as the
+    /// executable specification the pruned path is compared against.
+    Exhaustive,
+}
+
 /// One feasible UE–BS pairing with everything the matchers need to know.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateLink {
@@ -62,21 +84,26 @@ pub struct CandidateLink {
 /// demand (`n_{u,i} ≤ N_i`). All allocators run on these identical inputs.
 #[derive(Debug, Clone)]
 pub struct ProblemInstance {
-    sps: Vec<SpSpec>,
-    bss: Vec<BsSpec>,
-    ues: Vec<UeSpec>,
-    catalog: ServiceCatalog,
-    pricing: PricingConfig,
-    radio: RadioConfig,
-    coverage: CoverageModel,
-    /// `candidates[u]` = the links of UE `u`, sorted by BS id.
-    candidates: Vec<Vec<CandidateLink>>,
+    pub(crate) sps: Vec<SpSpec>,
+    pub(crate) bss: Vec<BsSpec>,
+    pub(crate) ues: Vec<UeSpec>,
+    pub(crate) catalog: ServiceCatalog,
+    pub(crate) pricing: PricingConfig,
+    pub(crate) radio: RadioConfig,
+    pub(crate) coverage: CoverageModel,
+    /// All candidate links, flattened row-major by UE id: UE `u` owns
+    /// `links[row_start[u]..row_start[u + 1]]`, sorted by BS id. The flat
+    /// layout lets the online engine rebuild rows in place each epoch
+    /// without dropping/reallocating one `Vec` per UE.
+    pub(crate) links: Vec<CandidateLink>,
+    /// Row boundaries into `links`, length `n_ues + 1`.
+    pub(crate) row_start: Vec<usize>,
     /// `f_u`: number of candidate BSs of UE `u` (the statistic the BS-side
     /// tie-break of Algorithm 1 uses).
-    f_u: Vec<u32>,
+    pub(crate) f_u: Vec<u32>,
     /// `covered_ues[i]` = UEs within coverage of BS `i` that request a
     /// service it hosts — the broadcast domain of Algorithm 1 line 26.
-    covered_ues: Vec<Vec<UeId>>,
+    pub(crate) covered_ues: Vec<Vec<UeId>>,
 }
 
 impl ProblemInstance {
@@ -132,6 +159,39 @@ impl ProblemInstance {
         coverage: CoverageModel,
         threads: Threads,
     ) -> Result<Self> {
+        Self::build_with_scan(
+            sps,
+            bss,
+            ues,
+            catalog,
+            pricing,
+            radio,
+            coverage,
+            threads,
+            CandidateScan::Auto,
+        )
+    }
+
+    /// [`ProblemInstance::build_with_threads`] with an explicit
+    /// [`CandidateScan`] knob, letting tests and benchmarks force the
+    /// exhaustive O(U×B) scan that [`CandidateScan::Auto`] prunes away
+    /// under a fixed coverage radius.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProblemInstance::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_scan(
+        sps: Vec<SpSpec>,
+        bss: Vec<BsSpec>,
+        ues: Vec<UeSpec>,
+        catalog: ServiceCatalog,
+        pricing: PricingConfig,
+        radio: RadioConfig,
+        coverage: CoverageModel,
+        threads: Threads,
+        scan: CandidateScan,
+    ) -> Result<Self> {
         if sps.is_empty() {
             return Err(Error::InvalidConfig("need at least one SP".into()));
         }
@@ -162,20 +222,7 @@ impl ProblemInstance {
                 )));
             }
         }
-        for (i, ue) in ues.iter().enumerate() {
-            if ue.id.as_usize() != i {
-                return Err(Error::InvalidConfig(format!(
-                    "UE ids must be dense and ordered; found {} at position {i}",
-                    ue.id
-                )));
-            }
-            if ue.sp.as_usize() >= sps.len() {
-                return Err(Error::UnknownSp(ue.sp));
-            }
-            if !catalog.contains(ue.service) {
-                return Err(Error::UnknownService(ue.service));
-            }
-        }
+        validate_ues(&ues, sps.len(), catalog)?;
         pricing.validate()?;
 
         let evaluator = LinkEvaluator::new(radio);
@@ -215,6 +262,7 @@ impl ProblemInstance {
         } else {
             Threads::serial()
         };
+        let prune = coverage_prune_index(&bss, coverage, scan);
         let rows: Vec<(Vec<CandidateLink>, Meters)> =
             par_map_indexed(row_threads, ues.len(), |u| {
                 candidate_row(
@@ -225,26 +273,31 @@ impl ProblemInstance {
                     &total_rx_mw,
                     coverage,
                     &pricing,
+                    prune.as_ref(),
                 )
             });
 
-        let mut candidates: Vec<Vec<CandidateLink>> = Vec::with_capacity(ues.len());
+        let mut links: Vec<CandidateLink> = Vec::new();
+        let mut row_start: Vec<usize> = Vec::with_capacity(ues.len() + 1);
+        row_start.push(0);
+        let mut f_u: Vec<u32> = Vec::with_capacity(ues.len());
         let mut covered_ues: Vec<Vec<UeId>> = vec![Vec::new(); bss.len()];
         let mut max_candidate_distance = Meters::new(0.0);
-        for (ue, (links, row_max)) in ues.iter().zip(rows) {
-            for link in &links {
+        for (ue, (row, row_max)) in ues.iter().zip(rows) {
+            for link in &row {
                 covered_ues[link.bs.as_usize()].push(ue.id);
             }
             if row_max > max_candidate_distance {
                 max_candidate_distance = row_max;
             }
-            candidates.push(links);
+            f_u.push(row.len() as u32);
+            links.extend(row);
+            row_start.push(links.len());
         }
 
         // Constraint (16) must hold for every reachable price.
         pricing.validate_margin(&sps, max_candidate_distance)?;
 
-        let f_u = candidates.iter().map(|c| c.len() as u32).collect();
         Ok(Self {
             sps,
             bss,
@@ -253,7 +306,8 @@ impl ProblemInstance {
             pricing,
             radio,
             coverage,
-            candidates,
+            links,
+            row_start,
             f_u,
             covered_ues,
         })
@@ -308,7 +362,8 @@ impl ProblemInstance {
     /// Panics if `ue` is not part of this instance.
     #[must_use]
     pub fn candidates(&self, ue: UeId) -> &[CandidateLink] {
-        &self.candidates[ue.as_usize()]
+        let u = ue.as_usize();
+        &self.links[self.row_start[u]..self.row_start[u + 1]]
     }
 
     /// `f_u`: the number of candidate BSs of UE `u`.
@@ -338,7 +393,7 @@ impl ProblemInstance {
     /// Panics if `ue` is not part of this instance.
     #[must_use]
     pub fn link(&self, ue: UeId, bs: BsId) -> Option<&CandidateLink> {
-        self.candidates[ue.as_usize()].iter().find(|l| l.bs == bs)
+        self.candidates(ue).iter().find(|l| l.bs == bs)
     }
 
     /// Number of UEs.
@@ -433,6 +488,26 @@ impl ProblemInstance {
         rem_rrb: &[RrbCount],
         ues: Vec<UeSpec>,
     ) -> Result<ProblemInstance> {
+        self.residual_with(rem_cru, rem_rrb, ues, Threads::Auto, CandidateScan::Auto)
+    }
+
+    /// [`ProblemInstance::residual`] with explicit thread-count and
+    /// candidate-scan knobs. The scratch online engine uses this to pin
+    /// down its baseline exactly (serial or fixed-width exhaustive
+    /// rebuilds), and the equality tests sweep both knobs to prove the
+    /// incremental engine bit-identical to every configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProblemInstance::residual`].
+    pub fn residual_with(
+        &self,
+        rem_cru: &[Vec<Cru>],
+        rem_rrb: &[RrbCount],
+        ues: Vec<UeSpec>,
+        threads: Threads,
+        scan: CandidateScan,
+    ) -> Result<ProblemInstance> {
         if rem_cru.len() != self.bss.len() || rem_rrb.len() != self.bss.len() {
             return Err(Error::InvalidConfig(format!(
                 "residual budgets cover {} / {} BSs but the instance has {}",
@@ -452,7 +527,7 @@ impl ProblemInstance {
                 spec
             })
             .collect();
-        ProblemInstance::build(
+        ProblemInstance::build_with_scan(
             self.sps.clone(),
             bss,
             ues,
@@ -460,6 +535,8 @@ impl ProblemInstance {
             self.pricing,
             self.radio,
             self.coverage,
+            threads,
+            scan,
         )
     }
 
@@ -478,9 +555,48 @@ impl ProblemInstance {
     }
 }
 
+/// Validates one batch of UEs against the deployment (dense ids, known SP,
+/// known service) — shared between the static build and the online
+/// engine's per-epoch batch so both reject exactly the same inputs.
+pub(crate) fn validate_ues(ues: &[UeSpec], n_sps: usize, catalog: ServiceCatalog) -> Result<()> {
+    for (i, ue) in ues.iter().enumerate() {
+        if ue.id.as_usize() != i {
+            return Err(Error::InvalidConfig(format!(
+                "UE ids must be dense and ordered; found {} at position {i}",
+                ue.id
+            )));
+        }
+        if ue.sp.as_usize() >= n_sps {
+            return Err(Error::UnknownSp(ue.sp));
+        }
+        if !catalog.contains(ue.service) {
+            return Err(Error::UnknownService(ue.service));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the spatial prune index for candidate generation, when the scan
+/// mode and coverage model allow one: a [`GridIndex`] over the BS sites
+/// with the coverage radius as both cell size and query radius.
+pub(crate) fn coverage_prune_index(
+    bss: &[BsSpec],
+    coverage: CoverageModel,
+    scan: CandidateScan,
+) -> Option<(GridIndex, Meters)> {
+    match (scan, coverage) {
+        (CandidateScan::Auto, CoverageModel::FixedRadius(r)) if r.get() > 0.0 && r.is_finite() => {
+            let sites: Vec<_> = bss.iter().map(|b| b.position).collect();
+            Some((GridIndex::build(&sites, r), r))
+        }
+        _ => None,
+    }
+}
+
 /// Computes one UE's candidate links (in BS-id order) and the largest
 /// candidate distance in the row. Pure function of its arguments — the
 /// parallel build relies on that for bit-identical fan-out.
+#[allow(clippy::too_many_arguments)]
 fn candidate_row(
     ue: &UeSpec,
     bss: &[BsSpec],
@@ -489,20 +605,82 @@ fn candidate_row(
     total_rx_mw: &[f64],
     coverage: CoverageModel,
     pricing: &PricingConfig,
+    prune: Option<&(GridIndex, Meters)>,
 ) -> (Vec<CandidateLink>, Meters) {
     let mut links = Vec::new();
+    let row_max = match prune {
+        Some((index, r)) => {
+            let mut nearby = Vec::new();
+            index.query_within_dist_into(ue.position, *r, &mut nearby);
+            scan_candidate_row(
+                ue,
+                bss,
+                nearby.iter().map(|&(b, d)| (b, Some(d))),
+                evaluator,
+                interference_factor,
+                total_rx_mw,
+                coverage,
+                pricing,
+                &mut links,
+            )
+        }
+        None => scan_candidate_row(
+            ue,
+            bss,
+            (0..bss.len()).map(|b| (b, None)),
+            evaluator,
+            interference_factor,
+            total_rx_mw,
+            coverage,
+            pricing,
+            &mut links,
+        ),
+    };
+    (links, row_max)
+}
+
+/// Appends one UE's candidate links over the given BS indices to `out`
+/// (the indices must be ascending so the row comes out sorted by BS id)
+/// and returns the largest accepted candidate distance.
+///
+/// This is the single scan kernel behind the static build (exhaustive or
+/// pruned) and the online engine's in-place epoch rebuild. Each index may
+/// carry the already-computed UE–BS distance (a pruning query measures it
+/// while filtering); the evaluator then skips its own `hypot`, which is
+/// bit-identical because the query uses the same `Point::distance`. When
+/// `interference_factor` is zero the per-BS own-received-power lookup is
+/// skipped entirely: the interference term is `factor × (total − own)⁺`,
+/// which is exactly `0.0` either way, so the skip is bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_candidate_row(
+    ue: &UeSpec,
+    bss: &[BsSpec],
+    bs_indices: impl Iterator<Item = (usize, Option<Meters>)>,
+    evaluator: &LinkEvaluator,
+    interference_factor: f64,
+    total_rx_mw: &[f64],
+    coverage: CoverageModel,
+    pricing: &PricingConfig,
+    out: &mut Vec<CandidateLink>,
+) -> Meters {
     let mut row_max = Meters::new(0.0);
-    for bs in bss {
+    for (b, known_distance) in bs_indices {
+        let bs = &bss[b];
         if !bs.hosts(ue.service) {
             continue;
         }
-        let own_rx = evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position);
-        let interference_mw =
-            interference_factor * (total_rx_mw[bs.id.as_usize()] - own_rx).max(0.0);
-        let metrics = evaluator.evaluate_with_interference(
+        let interference_mw = if interference_factor > 0.0 {
+            let own_rx = evaluator.rx_power_mw(ue.tx_power, ue.position, bs.position);
+            interference_factor * (total_rx_mw[bs.id.as_usize()] - own_rx).max(0.0)
+        } else {
+            0.0
+        };
+        let distance = known_distance.unwrap_or_else(|| ue.position.distance(bs.position));
+        let metrics = evaluator.evaluate_at_distance(
             ue.tx_power,
             ue.position,
             bs.position,
+            distance,
             interference_mw,
         );
         let in_coverage = match coverage {
@@ -525,7 +703,7 @@ fn candidate_row(
         if metrics.distance > row_max {
             row_max = metrics.distance;
         }
-        links.push(CandidateLink {
+        out.push(CandidateLink {
             bs: bs.id,
             distance: metrics.distance,
             sinr_linear: metrics.sinr_linear,
@@ -535,7 +713,7 @@ fn candidate_row(
             same_sp,
         });
     }
-    (links, row_max)
+    row_max
 }
 
 #[cfg(test)]

@@ -75,9 +75,11 @@ mod allocator;
 pub mod analysis;
 mod dmra;
 mod instance;
+mod online;
 
 pub use allocation::{Allocation, AllocationStats};
-pub use allocator::Allocator;
-pub use dmra::{Dmra, DmraConfig, DmraOutcome};
+pub use allocator::{Allocator, AllocatorSession};
+pub use dmra::{Dmra, DmraConfig, DmraOutcome, DmraWorkspace};
 pub use dmra_par::Threads;
-pub use instance::{CandidateLink, CoverageModel, ProblemInstance};
+pub use instance::{CandidateLink, CandidateScan, CoverageModel, ProblemInstance};
+pub use online::DeploymentContext;

@@ -1,0 +1,348 @@
+//! Epoch-persistent state for the online (arrival/departure) regime.
+//!
+//! The dynamic simulator solves one matching per epoch against the
+//! *remaining* BS capacities. Rebuilding a full [`ProblemInstance`] from
+//! scratch every epoch re-validates the whole deployment, re-clones every
+//! SP/BS spec and re-derives per-BS geometry that never changes — the
+//! deployment is fixed, only the budgets and the arrival batch move. A
+//! [`DeploymentContext`] hoists everything epoch-invariant out of the
+//! loop:
+//!
+//! * the validated deployment (SPs, BSs, catalog, pricing, radio,
+//!   coverage) is checked **once**, at construction;
+//! * the [`LinkEvaluator`] and the spatial prune index over the BS sites
+//!   are built once and reused for every arrival batch;
+//! * the pricing-margin constraint (16) is monotone in the candidate
+//!   distance, so it is re-checked only when an epoch produces a farther
+//!   candidate than any epoch before it (a high-water mark);
+//! * the epoch instance itself is a single reused allocation — budgets
+//!   are patched in place and the flattened candidate rows are rebuilt
+//!   into the same buffers.
+//!
+//! The result is pinned **bit-identical** to the rebuild-from-scratch
+//! path ([`ProblemInstance::residual`]) by the `incremental` integration
+//! tests: identical candidate rows, identical allocations, identical
+//! simulated outcomes for every allocator, seed and thread count.
+
+use crate::instance::{
+    coverage_prune_index, scan_candidate_row, validate_ues, CandidateScan, CoverageModel,
+    ProblemInstance,
+};
+use dmra_geo::GridIndex;
+use dmra_radio::{InterferenceModel, LinkEvaluator};
+use dmra_types::{Cru, Error, Meters, Result, RrbCount, UeSpec};
+
+/// Epoch-persistent deployment state for the online regime.
+///
+/// Build one from the validated deployment instance (typically the
+/// zero-UE instance the simulator starts from), then call
+/// [`DeploymentContext::epoch_instance`] once per epoch with the
+/// remaining budgets and the arrival batch.
+#[derive(Debug, Clone)]
+pub struct DeploymentContext {
+    /// The reused epoch instance; UEs/links/budgets are overwritten per
+    /// epoch, everything else stays the validated deployment.
+    instance: ProblemInstance,
+    /// Radio evaluator, derived once from the deployment's radio config.
+    evaluator: LinkEvaluator,
+    /// Load-proportional interference factor (zero under noise-only).
+    interference_factor: f64,
+    /// Per-BS aggregate received power for the current epoch's batch
+    /// (left untouched when the factor is zero).
+    total_rx_mw: Vec<f64>,
+    /// Spatial prune index over the BS sites, when the coverage model
+    /// admits one (fixed radius, positive and finite).
+    prune: Option<(GridIndex, Meters)>,
+    /// Largest candidate distance the pricing margin has been validated
+    /// at so far. Constraint (16)'s worst-case price grows with distance,
+    /// so any epoch whose rows stay under this mark is already covered.
+    validated_distance: Meters,
+    /// Reused buffer for grid-index radius queries; each hit carries its
+    /// exact distance so the scan kernel never recomputes it.
+    query_buf: Vec<(usize, Meters)>,
+}
+
+impl DeploymentContext {
+    /// Creates a context from a validated deployment instance. The
+    /// deployment's UEs (if any) are irrelevant — each epoch brings its
+    /// own batch — so only the SPs/BSs/config are retained.
+    #[must_use]
+    pub fn new(deployment: &ProblemInstance) -> Self {
+        let evaluator = LinkEvaluator::new(*deployment.radio());
+        let interference_factor = match deployment.radio().interference {
+            InterferenceModel::NoiseOnly => 0.0,
+            InterferenceModel::LoadProportional { factor } => factor,
+        };
+        let prune =
+            coverage_prune_index(deployment.bss(), deployment.coverage(), CandidateScan::Auto);
+        let mut instance = deployment.clone();
+        instance.ues.clear();
+        instance.links.clear();
+        instance.row_start.clear();
+        instance.row_start.push(0);
+        instance.f_u.clear();
+        for covered in &mut instance.covered_ues {
+            covered.clear();
+        }
+        let n_bss = instance.bss.len();
+        Self {
+            instance,
+            evaluator,
+            interference_factor,
+            total_rx_mw: vec![0.0; n_bss],
+            prune,
+            validated_distance: Meters::new(0.0),
+            query_buf: Vec::new(),
+        }
+    }
+
+    /// Builds this epoch's instance in place: same deployment, the given
+    /// remaining budgets, and the new arrival batch.
+    ///
+    /// Bit-identical to `deployment.residual(rem_cru, rem_rrb, ues)` —
+    /// same candidate rows, same accepted/rejected inputs, same errors —
+    /// without cloning the deployment or re-validating what cannot have
+    /// changed. After an error the context remains usable: the next
+    /// successful call overwrites all epoch state.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`ProblemInstance::residual`] would return:
+    /// budget-arity mismatches, invalid UE batches, and pricing-margin
+    /// violations at a new worst-case candidate distance.
+    pub fn epoch_instance(
+        &mut self,
+        rem_cru: &[Vec<Cru>],
+        rem_rrb: &[RrbCount],
+        ues: Vec<UeSpec>,
+    ) -> Result<&ProblemInstance> {
+        let inst = &mut self.instance;
+        let n_bss = inst.bss.len();
+        if rem_cru.len() != n_bss || rem_rrb.len() != n_bss {
+            return Err(Error::InvalidConfig(format!(
+                "residual budgets cover {} / {} BSs but the instance has {}",
+                rem_cru.len(),
+                rem_rrb.len(),
+                n_bss
+            )));
+        }
+        for (i, bs) in inst.bss.iter().enumerate() {
+            if rem_cru[i].len() != bs.cru_budget.len() {
+                return Err(Error::InvalidConfig(format!(
+                    "{} has {} service budgets but the catalog has {} services",
+                    bs.id,
+                    rem_cru[i].len(),
+                    inst.catalog.len()
+                )));
+            }
+        }
+        validate_ues(&ues, inst.sps.len(), inst.catalog)?;
+
+        // Patch the remaining budgets in place (`Cru` is `Copy`).
+        for (i, bs) in inst.bss.iter_mut().enumerate() {
+            bs.cru_budget.copy_from_slice(&rem_cru[i]);
+            bs.rrb_budget = rem_rrb[i];
+        }
+        inst.ues = ues;
+
+        // Per-BS interference aggregates depend on the epoch's batch; the
+        // serial per-BS sum visits UEs in id order, exactly like the
+        // static build's fan-out.
+        if self.interference_factor > 0.0 {
+            for (b, total) in self.total_rx_mw.iter_mut().enumerate() {
+                let bs_pos = inst.bss[b].position;
+                *total = inst
+                    .ues
+                    .iter()
+                    .map(|ue| self.evaluator.rx_power_mw(ue.tx_power, ue.position, bs_pos))
+                    .sum();
+            }
+        }
+
+        // Rebuild the flattened candidate rows into the reused buffers.
+        inst.links.clear();
+        inst.row_start.clear();
+        inst.row_start.push(0);
+        inst.f_u.clear();
+        for covered in &mut inst.covered_ues {
+            covered.clear();
+        }
+        let mut max_candidate_distance = Meters::new(0.0);
+        for u in 0..inst.ues.len() {
+            let row_from = inst.links.len();
+            let row_max = match &self.prune {
+                Some((index, radius)) => {
+                    index.query_within_dist_into(
+                        inst.ues[u].position,
+                        *radius,
+                        &mut self.query_buf,
+                    );
+                    scan_candidate_row(
+                        &inst.ues[u],
+                        &inst.bss,
+                        self.query_buf.iter().map(|&(b, d)| (b, Some(d))),
+                        &self.evaluator,
+                        self.interference_factor,
+                        &self.total_rx_mw,
+                        inst.coverage,
+                        &inst.pricing,
+                        &mut inst.links,
+                    )
+                }
+                None => scan_candidate_row(
+                    &inst.ues[u],
+                    &inst.bss,
+                    (0..n_bss).map(|b| (b, None)),
+                    &self.evaluator,
+                    self.interference_factor,
+                    &self.total_rx_mw,
+                    inst.coverage,
+                    &inst.pricing,
+                    &mut inst.links,
+                ),
+            };
+            if row_max > max_candidate_distance {
+                max_candidate_distance = row_max;
+            }
+            inst.f_u.push((inst.links.len() - row_from) as u32);
+            inst.row_start.push(inst.links.len());
+            let ue_id = inst.ues[u].id;
+            for link in &inst.links[row_from..] {
+                inst.covered_ues[link.bs.as_usize()].push(ue_id);
+            }
+        }
+
+        // Constraint (16): the worst-case price is monotone in distance,
+        // so only a new high-water distance needs re-validation — and it
+        // fails with exactly the error a from-scratch build would raise.
+        if max_candidate_distance > self.validated_distance {
+            inst.pricing
+                .validate_margin(&inst.sps, max_candidate_distance)?;
+            self.validated_distance = max_candidate_distance;
+        }
+        Ok(&self.instance)
+    }
+
+    /// The coverage model the context prunes for.
+    #[must_use]
+    pub fn coverage(&self) -> CoverageModel {
+        self.instance.coverage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::two_sp_instance;
+    use dmra_types::{BitsPerSec, Cru, Dbm, Point, RrbCount, ServiceId, SpId, UeId};
+
+    fn fresh_batch(n: usize) -> Vec<UeSpec> {
+        (0..n)
+            .map(|u| {
+                UeSpec::new(
+                    UeId::new(u as u32),
+                    SpId::new((u % 2) as u32),
+                    Point::new(50.0 + 40.0 * u as f64, 10.0),
+                    ServiceId::new(0),
+                    Cru::new(4),
+                    BitsPerSec::from_mbps(3.0),
+                    Dbm::new(10.0),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_same_instance(a: &ProblemInstance, b: &ProblemInstance) {
+        assert_eq!(a.n_ues(), b.n_ues());
+        for u in 0..a.n_ues() {
+            let ue = UeId::new(u as u32);
+            assert_eq!(a.candidates(ue), b.candidates(ue), "UE {u} rows differ");
+            assert_eq!(a.f_u(ue), b.f_u(ue));
+        }
+        for b_idx in 0..a.n_bss() {
+            let bs = dmra_types::BsId::new(b_idx as u32);
+            assert_eq!(a.covered_ues(bs), b.covered_ues(bs));
+        }
+        assert_eq!(a.bss(), b.bss());
+    }
+
+    #[test]
+    fn epoch_instance_matches_residual_across_epochs() {
+        let deployment = two_sp_instance();
+        let mut ctx = DeploymentContext::new(&deployment);
+        // Three "epochs" with shifting budgets and batch sizes; the
+        // context must reproduce the scratch residual each time.
+        let budgets = [
+            (
+                vec![
+                    vec![Cru::new(100), Cru::new(100)],
+                    vec![Cru::new(100), Cru::ZERO],
+                ],
+                vec![RrbCount::new(55), RrbCount::new(55)],
+            ),
+            (
+                vec![
+                    vec![Cru::new(10), Cru::new(5)],
+                    vec![Cru::new(7), Cru::ZERO],
+                ],
+                vec![RrbCount::new(9), RrbCount::new(3)],
+            ),
+            (
+                vec![vec![Cru::ZERO, Cru::ZERO], vec![Cru::new(100), Cru::ZERO]],
+                vec![RrbCount::ZERO, RrbCount::new(55)],
+            ),
+        ];
+        for (e, (rem_cru, rem_rrb)) in budgets.iter().enumerate() {
+            let batch = fresh_batch(e + 1);
+            let scratch = deployment
+                .residual(rem_cru, rem_rrb, batch.clone())
+                .unwrap();
+            let fast = ctx.epoch_instance(rem_cru, rem_rrb, batch).unwrap();
+            assert_same_instance(fast, &scratch);
+        }
+    }
+
+    #[test]
+    fn epoch_instance_rejects_what_residual_rejects() {
+        let deployment = two_sp_instance();
+        let mut ctx = DeploymentContext::new(&deployment);
+        // Wrong outer arity.
+        let err = ctx.epoch_instance(&[], &[], fresh_batch(1)).unwrap_err();
+        let scratch_err = deployment.residual(&[], &[], fresh_batch(1)).unwrap_err();
+        assert_eq!(err, scratch_err);
+        // Dangling SP reference in the batch.
+        let rem_cru: Vec<Vec<Cru>> = deployment
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let rem_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+        let mut bad = fresh_batch(1);
+        bad[0].sp = SpId::new(9);
+        let err = ctx
+            .epoch_instance(&rem_cru, &rem_rrb, bad.clone())
+            .unwrap_err();
+        let scratch_err = deployment.residual(&rem_cru, &rem_rrb, bad).unwrap_err();
+        assert_eq!(err, scratch_err);
+        // And the context still works after the errors.
+        let ok = ctx
+            .epoch_instance(&rem_cru, &rem_rrb, fresh_batch(2))
+            .unwrap();
+        assert_eq!(ok.n_ues(), 2);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_instance() {
+        let deployment = two_sp_instance();
+        let mut ctx = DeploymentContext::new(&deployment);
+        let rem_cru: Vec<Vec<Cru>> = deployment
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let rem_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+        let inst = ctx.epoch_instance(&rem_cru, &rem_rrb, Vec::new()).unwrap();
+        assert_eq!(inst.n_ues(), 0);
+        assert_eq!(inst.n_bss(), deployment.n_bss());
+    }
+}

@@ -74,11 +74,32 @@ impl LinkEvaluator {
         bs: Point,
         interference_mw: f64,
     ) -> LinkMetrics {
+        self.evaluate_at_distance(tx_power, ue, bs, ue.distance(bs), interference_mw)
+    }
+
+    /// [`LinkEvaluator::evaluate_with_interference`] with the UE–BS
+    /// distance supplied by the caller, for hot loops that already hold it
+    /// (a spatial index computes it while filtering candidates).
+    ///
+    /// `distance` must equal `ue.distance(bs)` — the result is then
+    /// bit-identical to [`LinkEvaluator::evaluate_with_interference`].
+    #[must_use]
+    pub fn evaluate_at_distance(
+        &self,
+        tx_power: Dbm,
+        ue: Point,
+        bs: Point,
+        distance: Meters,
+        interference_mw: f64,
+    ) -> LinkMetrics {
         debug_assert!(
             interference_mw >= 0.0,
             "interference power cannot be negative"
         );
-        let distance = ue.distance(bs);
+        debug_assert!(
+            distance == ue.distance(bs),
+            "supplied distance must be the exact UE–BS distance"
+        );
         let attenuation =
             self.config.path_loss.loss(distance) + self.config.shadowing.sample(ue, bs);
         let rx_power = tx_power.attenuate(attenuation);

@@ -17,6 +17,20 @@
 //! is built whose BS budgets are the remaining capacities, so all static
 //! invariants (constraint validation, non-wastefulness) apply verbatim.
 //!
+//! Two engines produce **bit-identical** outcomes (the `incremental`
+//! integration tests pin this for every allocator, seed and thread
+//! count):
+//!
+//! * [`DynamicSimulator::run`] — the incremental engine. A
+//!   [`DeploymentContext`] validates the deployment once, keeps the
+//!   spatial prune index and link evaluator across epochs, and rebuilds
+//!   the epoch instance in place; the allocator runs through a reusable
+//!   [`dmra_core::AllocatorSession`] so per-epoch solves stop allocating.
+//! * [`DynamicSimulator::run_scratch`] — the original
+//!   rebuild-from-scratch loop (full [`ProblemInstance::residual`] with
+//!   an exhaustive candidate scan each epoch), kept as the executable
+//!   specification and the benchmark baseline.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,7 +53,9 @@
 //! ```
 
 use crate::config::ScenarioConfig;
-use dmra_core::{Allocator, Dmra};
+use dmra_core::{
+    Allocation, Allocator, CandidateScan, DeploymentContext, Dmra, ProblemInstance, Threads,
+};
 use dmra_geo::rng::component_rng;
 use dmra_types::{
     BitsPerSec, BsId, BsSpec, Cru, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
@@ -148,7 +164,12 @@ impl DynamicSimulator {
         Self { config, allocator }
     }
 
-    /// Runs the simulation to the horizon.
+    /// Runs the simulation to the horizon with the **incremental engine**:
+    /// the deployment is validated once into a [`DeploymentContext`], each
+    /// epoch patches remaining budgets in place and evaluates only the new
+    /// arrival batch (spatially pruned), and the allocator solves through
+    /// a reusable session. Bit-identical to
+    /// [`DynamicSimulator::run_scratch`].
     ///
     /// # Errors
     ///
@@ -163,41 +184,15 @@ impl DynamicSimulator {
             .with_ues(0)
             .with_seed(cfg.seed)
             .build()?;
-        let base_bss: Vec<BsSpec> = deployment.bss().to_vec();
-
-        let mut rem_cru: Vec<Vec<Cru>> = base_bss.iter().map(|b| b.cru_budget.clone()).collect();
-        let mut rem_rrb: Vec<RrbCount> = base_bss.iter().map(|b| b.rrb_budget).collect();
-        let total_rrb: f64 = base_bss.iter().map(|b| b.rrb_budget.as_f64()).sum();
-
+        let mut ctx = DeploymentContext::new(&deployment);
+        let mut session = self.allocator.session();
         let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
-        let mut active: Vec<ActiveTask> = Vec::new();
-        let mut outcome = DynamicOutcome {
-            arrivals: 0,
-            admitted: 0,
-            cloud_forwarded: 0,
-            completed: 0,
-            total_profit: Money::new(0.0),
-            rrb_occupancy: Vec::with_capacity(cfg.epochs),
-            in_service: Vec::with_capacity(cfg.epochs),
-        };
+        let mut state = EngineState::new(deployment.bss(), cfg.epochs);
 
         for epoch in 0..cfg.epochs {
-            // 1. Departures release their resources.
-            let before = active.len();
-            active.retain(|t| {
-                if t.departs_at <= epoch {
-                    rem_cru[t.bs.as_usize()][t.service.as_usize()] += t.cru;
-                    rem_rrb[t.bs.as_usize()] += t.rrbs;
-                    false
-                } else {
-                    true
-                }
-            });
-            outcome.completed += (before - active.len()) as u64;
-
-            // 2. New arrivals this epoch.
+            state.release_departures(epoch);
             let n_new = poisson(cfg.arrival_rate, &mut rng);
-            outcome.arrivals += n_new as u64;
+            state.outcome.arrivals += n_new as u64;
             if n_new > 0 {
                 let ues = self.draw_arrivals(n_new, &mut rng);
                 // Draw holding times for *every* arrival up front so the
@@ -206,38 +201,71 @@ impl DynamicSimulator {
                 let holdings: Vec<usize> = (0..n_new)
                     .map(|_| geometric(cfg.mean_holding, &mut rng))
                     .collect();
-                // 3. Build the epoch instance: same BSs, *remaining* budgets.
-                let instance = deployment.residual(&rem_cru, &rem_rrb, ues)?;
-                // 4. Match the batch and commit admissions.
+                let instance = ctx.epoch_instance(&state.rem_cru, &state.rem_rrb, ues)?;
+                let allocation = session.allocate(instance);
+                debug_assert!(allocation.validate(instance).is_ok());
+                state.commit_epoch(instance, &allocation, &holdings, epoch);
+            }
+            state.finish_epoch();
+        }
+        Ok(state.outcome)
+    }
+
+    /// Runs the simulation with the original **rebuild-from-scratch
+    /// engine**: every epoch clones the deployment into a full
+    /// [`ProblemInstance::residual`] build with an exhaustive candidate
+    /// scan. Kept as the executable specification the incremental engine
+    /// is tested bit-identical against, and as the benchmark baseline
+    /// (`BENCH_dynamic.json`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSimulator::run`].
+    pub fn run_scratch(&self) -> Result<DynamicOutcome> {
+        self.run_scratch_with_threads(Threads::Auto)
+    }
+
+    /// [`DynamicSimulator::run_scratch`] with an explicit thread knob for
+    /// the per-epoch instance builds — the equality tests sweep this to
+    /// show the incremental engine matches every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSimulator::run`].
+    pub fn run_scratch_with_threads(&self, threads: Threads) -> Result<DynamicOutcome> {
+        let cfg = &self.config;
+        let deployment = cfg
+            .scenario
+            .clone()
+            .with_ues(0)
+            .with_seed(cfg.seed)
+            .build()?;
+        let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
+        let mut state = EngineState::new(deployment.bss(), cfg.epochs);
+
+        for epoch in 0..cfg.epochs {
+            state.release_departures(epoch);
+            let n_new = poisson(cfg.arrival_rate, &mut rng);
+            state.outcome.arrivals += n_new as u64;
+            if n_new > 0 {
+                let ues = self.draw_arrivals(n_new, &mut rng);
+                let holdings: Vec<usize> = (0..n_new)
+                    .map(|_| geometric(cfg.mean_holding, &mut rng))
+                    .collect();
+                let instance = deployment.residual_with(
+                    &state.rem_cru,
+                    &state.rem_rrb,
+                    ues,
+                    threads,
+                    CandidateScan::Exhaustive,
+                )?;
                 let allocation = self.allocator.allocate(&instance);
                 debug_assert!(allocation.validate(&instance).is_ok());
-                outcome.total_profit += instance.total_profit(&allocation);
-                for (ue, bs) in allocation.edge_pairs() {
-                    let spec = &instance.ues()[ue.as_usize()];
-                    let link = instance.link(ue, bs).expect("candidate");
-                    rem_cru[bs.as_usize()][spec.service.as_usize()] -= spec.cru_demand;
-                    rem_rrb[bs.as_usize()] -= link.n_rrbs;
-                    active.push(ActiveTask {
-                        bs,
-                        service: spec.service,
-                        cru: spec.cru_demand,
-                        rrbs: link.n_rrbs,
-                        departs_at: epoch + 1 + holdings[ue.as_usize()],
-                    });
-                    outcome.admitted += 1;
-                }
-                outcome.cloud_forwarded += allocation.cloud_ues().count() as u64;
+                state.commit_epoch(&instance, &allocation, &holdings, epoch);
             }
-
-            let used: f64 = total_rrb - rem_rrb.iter().map(|r| r.as_f64()).sum::<f64>();
-            outcome.rrb_occupancy.push(if total_rrb > 0.0 {
-                used / total_rrb
-            } else {
-                0.0
-            });
-            outcome.in_service.push(active.len());
+            state.finish_epoch();
         }
-        Ok(outcome)
+        Ok(state.outcome)
     }
 
     /// Draws one epoch's arrival batch from the scenario's workload
@@ -265,24 +293,142 @@ impl DynamicSimulator {
     }
 }
 
-/// Poisson sample via Knuth's product method (λ is small per epoch).
+/// The per-run mutable state shared by both engines: remaining budgets,
+/// tasks in service, and the outcome accumulators. Keeping the epoch
+/// bookkeeping in one place guarantees the engines account identically —
+/// their only difference is how the epoch instance is produced.
+struct EngineState {
+    rem_cru: Vec<Vec<Cru>>,
+    rem_rrb: Vec<RrbCount>,
+    total_rrb: f64,
+    active: Vec<ActiveTask>,
+    outcome: DynamicOutcome,
+}
+
+impl EngineState {
+    fn new(bss: &[BsSpec], epochs: usize) -> Self {
+        Self {
+            rem_cru: bss.iter().map(|b| b.cru_budget.clone()).collect(),
+            rem_rrb: bss.iter().map(|b| b.rrb_budget).collect(),
+            total_rrb: bss.iter().map(|b| b.rrb_budget.as_f64()).sum(),
+            active: Vec::new(),
+            outcome: DynamicOutcome {
+                arrivals: 0,
+                admitted: 0,
+                cloud_forwarded: 0,
+                completed: 0,
+                total_profit: Money::new(0.0),
+                rrb_occupancy: Vec::with_capacity(epochs),
+                in_service: Vec::with_capacity(epochs),
+            },
+        }
+    }
+
+    /// Departures at the start of an epoch release their resources.
+    fn release_departures(&mut self, epoch: usize) {
+        let before = self.active.len();
+        let rem_cru = &mut self.rem_cru;
+        let rem_rrb = &mut self.rem_rrb;
+        self.active.retain(|t| {
+            if t.departs_at <= epoch {
+                rem_cru[t.bs.as_usize()][t.service.as_usize()] += t.cru;
+                rem_rrb[t.bs.as_usize()] += t.rrbs;
+                false
+            } else {
+                true
+            }
+        });
+        self.outcome.completed += (before - self.active.len()) as u64;
+    }
+
+    /// Commits one epoch's admissions: deduct resources, register the
+    /// departure times, and accumulate profit/admission counters.
+    fn commit_epoch(
+        &mut self,
+        instance: &ProblemInstance,
+        allocation: &Allocation,
+        holdings: &[usize],
+        epoch: usize,
+    ) {
+        self.outcome.total_profit += instance.total_profit(allocation);
+        for (ue, bs) in allocation.edge_pairs() {
+            let spec = &instance.ues()[ue.as_usize()];
+            let link = instance.link(ue, bs).expect("candidate");
+            self.rem_cru[bs.as_usize()][spec.service.as_usize()] -= spec.cru_demand;
+            self.rem_rrb[bs.as_usize()] -= link.n_rrbs;
+            self.active.push(ActiveTask {
+                bs,
+                service: spec.service,
+                cru: spec.cru_demand,
+                rrbs: link.n_rrbs,
+                departs_at: epoch + 1 + holdings[ue.as_usize()],
+            });
+            self.outcome.admitted += 1;
+        }
+        self.outcome.cloud_forwarded += allocation.cloud_ues().count() as u64;
+    }
+
+    /// Records end-of-epoch occupancy and in-service counts.
+    fn finish_epoch(&mut self) {
+        let used: f64 = self.total_rrb - self.rem_rrb.iter().map(|r| r.as_f64()).sum::<f64>();
+        self.outcome.rrb_occupancy.push(if self.total_rrb > 0.0 {
+            used / self.total_rrb
+        } else {
+            0.0
+        });
+        self.outcome.in_service.push(self.active.len());
+    }
+}
+
+/// λ above which [`poisson`] switches from exact inversion to the normal
+/// approximation. Well below the ~745 threshold where `exp(-λ)`
+/// underflows to zero.
+const POISSON_NORMAL_CUTOFF: f64 = 64.0;
+
+/// Deterministic Poisson sample, split by rate:
+///
+/// * `λ ≤ 64` — inversion by sequential CDF search: **one** uniform draw,
+///   exact distribution, O(λ) additions.
+/// * `λ > 64` — normal approximation with continuity correction,
+///   `k = ⌊λ + √λ·z + ½⌋` clamped at zero, with `z` from a Box–Muller
+///   transform (two uniform draws). At this scale the approximation
+///   error is negligible against simulation noise.
+///
+/// This replaces Knuth's product-of-uniforms method, which drew `k + 1`
+/// uniforms per sample (O(λ) RNG calls) and broke down entirely for
+/// λ ≳ 745: `exp(-λ)` underflows to `0.0`, the product can never reach
+/// it, and the guard returned a constant ≈ 1074 regardless of λ.
 fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
     debug_assert!(lambda >= 0.0);
     if lambda <= 0.0 {
         return 0;
     }
-    let l = (-lambda).exp();
-    let mut k = 0usize;
-    let mut p = 1.0;
-    loop {
-        p *= rng.random_range(0.0..1.0);
-        if p <= l {
-            return k;
+    if lambda <= POISSON_NORMAL_CUTOFF {
+        let u = rng.random_range(0.0..1.0);
+        let mut k = 0usize;
+        let mut p = (-lambda).exp(); // P[X = 0]; strictly positive here
+        let mut cdf = p;
+        while u > cdf {
+            k += 1;
+            p *= lambda / k as f64;
+            cdf += p;
+            // Deep in the tail `p` underflows and the CDF stops moving;
+            // the cap (≫ 30σ out) guards against an infinite loop.
+            if k as f64 > 100.0 * lambda + 100.0 {
+                break;
+            }
         }
-        k += 1;
-        // Guard against pathological λ: cap at 100× the mean.
-        if k as f64 > 100.0 * lambda + 100.0 {
-            return k;
+        k
+    } else {
+        // `1 - u` maps [0, 1) onto (0, 1] so the logarithm stays finite.
+        let u1 = 1.0 - rng.random_range(0.0..1.0);
+        let u2 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let k = lambda + lambda.sqrt() * z + 0.5;
+        if k < 0.0 {
+            0
+        } else {
+            k as usize
         }
     }
 }
@@ -413,5 +559,71 @@ mod tests {
         let out = DynamicSimulator::new(base_config(20.0, 9)).run().unwrap();
         assert!(out.admitted > 0);
         assert!(out.total_profit.get() > 0.0);
+    }
+
+    #[test]
+    fn incremental_and_scratch_engines_agree() {
+        // Full-outcome equality between the incremental engine and the
+        // rebuild-from-scratch specification (the workspace-root
+        // `incremental` tests sweep allocators, seeds and thread counts).
+        let sim = DynamicSimulator::new(base_config(25.0, 2));
+        assert_eq!(sim.run().unwrap(), sim.run_scratch().unwrap());
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        for &lambda in &[0.7, 12.0, 64.0, 300.0, 900.0] {
+            let mut a = component_rng(17, "poisson-det");
+            let mut b = component_rng(17, "poisson-det");
+            for _ in 0..32 {
+                assert_eq!(poisson(lambda, &mut a), poisson(lambda, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_draws_nothing() {
+        let mut rng = component_rng(1, "poisson-zero");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_are_sane_on_both_sides_of_the_cutoff() {
+        // λ = 12 and 40 exercise the exact inversion sampler, 150 and 900
+        // the normal approximation (the old Knuth sampler already failed
+        // at 900: exp(-900) == 0.0).
+        for &lambda in &[12.0, 40.0, 150.0, 900.0] {
+            let mut rng = component_rng(23, "poisson-dist");
+            let n = 3000usize;
+            let draws: Vec<f64> = (0..n).map(|_| poisson(lambda, &mut rng) as f64).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+            // Mean of n draws has σ = √(λ/n); allow 6σ.
+            let tol = 6.0 * (lambda / n as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < tol,
+                "λ = {lambda}: mean {mean} (tolerance {tol})"
+            );
+            // A Poisson's variance equals its mean.
+            assert!(
+                (0.75..=1.25).contains(&(var / lambda)),
+                "λ = {lambda}: variance {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_handles_huge_rates_without_garbage() {
+        // The old sampler returned ≈ 1074 for *every* λ ≳ 745; the fixed
+        // one must track the mean at any scale.
+        let mut rng = component_rng(31, "poisson-huge");
+        let lambda = 50_000.0;
+        for _ in 0..64 {
+            let k = poisson(lambda, &mut rng) as f64;
+            assert!(
+                (k - lambda).abs() < 10.0 * lambda.sqrt(),
+                "draw {k} too far from λ = {lambda}"
+            );
+        }
     }
 }

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Performance tracking: the criterion wall-clock benches, then the
-# machine-readable sweep/build/solver measurement that (re)writes
-# BENCH_sweep.json at the workspace root. Extra arguments are forwarded
-# to `cargo bench` (e.g. a bench name filter).
+# machine-readable sweep/build/solver/online measurement that (re)writes
+# BENCH_sweep.json and BENCH_dynamic.json at the workspace root. Extra
+# arguments are forwarded to `cargo bench` (e.g. a bench name filter).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
