@@ -2,11 +2,16 @@
 //!
 //! Grammar: `dmra <command> [--key value]... [--flag]...`. Keys are
 //! validated per command; unknown keys are errors, every key takes exactly
-//! one value. No external CLI crate is used (DESIGN.md limits the
-//! dependency set to the numeric/test stack).
+//! one value. The only valueless arguments are the global verbosity flags
+//! (`--quiet`, `--verbose` / `-v`), which any command accepts. No external
+//! CLI crate is used (DESIGN.md limits the dependency set to the
+//! numeric/test stack).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Valueless flags accepted by every command (the verbosity switches).
+const GLOBAL_FLAGS: &[&str] = &["quiet", "verbose"];
 
 /// A parsed command line: the command word plus its `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +19,7 @@ pub struct ParsedArgs {
     /// The command word (`run`, `sweep`, `protocol`, `dynamic`, `help`).
     pub command: String,
     options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
 }
 
 /// A parse or validation failure, with a user-facing message.
@@ -45,12 +51,21 @@ impl ParsedArgs {
             .next()
             .ok_or_else(|| ArgError("missing command; try `dmra help`".into()))?;
         let mut options = BTreeMap::new();
+        let mut flags = BTreeSet::new();
         while let Some(arg) = iter.next() {
+            if arg == "-v" {
+                flags.insert("verbose".to_owned());
+                continue;
+            }
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(ArgError(format!(
                     "unexpected positional argument '{arg}' (options are --key value)"
                 )));
             };
+            if GLOBAL_FLAGS.contains(&key) {
+                flags.insert(key.to_owned());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| ArgError(format!("option --{key} requires a value")))?;
@@ -58,7 +73,18 @@ impl ParsedArgs {
                 return Err(ArgError(format!("option --{key} given twice")));
             }
         }
-        Ok(Self { command, options })
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// Returns `true` when the given global flag (`quiet`, `verbose`) was
+    /// present, either spelled out or via its short alias.
+    #[must_use]
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.contains(flag)
     }
 
     /// Rejects any option key outside `allowed`.
@@ -154,5 +180,23 @@ mod tests {
         let p = ParsedArgs::parse(["run", "--ues", "lots"]).unwrap();
         let err = p.get_or("ues", 0usize).unwrap_err();
         assert!(err.to_string().contains("cannot parse"));
+    }
+
+    #[test]
+    fn global_flags_take_no_value() {
+        let p = ParsedArgs::parse(["run", "--quiet", "--ues", "80"]).unwrap();
+        assert!(p.has_flag("quiet"));
+        assert!(!p.has_flag("verbose"));
+        assert_eq!(p.get("ues"), Some("80"));
+        // Flags do not participate in key validation.
+        p.expect_keys(&["ues"]).unwrap();
+    }
+
+    #[test]
+    fn short_v_is_verbose() {
+        let p = ParsedArgs::parse(["dynamic", "-v"]).unwrap();
+        assert!(p.has_flag("verbose"));
+        let p = ParsedArgs::parse(["dynamic", "--verbose"]).unwrap();
+        assert!(p.has_flag("verbose"));
     }
 }

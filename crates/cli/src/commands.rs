@@ -5,6 +5,7 @@ use crate::args::{ArgError, ParsedArgs};
 use dmra_baselines::{CloudOnly, Dcsp, GreedyProfit, NonCo, RandomAllocator};
 use dmra_core::agents::run_decentralized;
 use dmra_core::{Allocator, Dmra, DmraConfig, Threads};
+use dmra_obs::{obs_debug, Level};
 use dmra_proto::DropPolicy;
 use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
 use dmra_sim::erlang::TrunkModel;
@@ -44,16 +45,88 @@ pub fn help_text() -> String {
      \t--policy P     full | sticky               (default full)\n\
      plan      Erlang-B blocking prediction & dimensioning\n\
      \t--rate X --holding X --target PCT          (defaults 100, 5, 2)\n\
-     help      this text\n"
+     help      this text\n\
+     \n\
+     GLOBAL OPTIONS (any command)\n\
+     \t--quiet          only warnings and errors on stderr\n\
+     \t--verbose, -v    debug logging on stderr\n\
+     \t--log-level L    error | warn | info | debug (overrides the flags)\n\
+     \t--trace-out F    enable telemetry, write trace + metrics JSON to F,\n\
+     \t                 and append the counter/timer report to the output\n\
+     \t                 (run, sweep and dynamic only)\n"
         .to_owned()
 }
 
-/// Dispatches a parsed command line to its implementation.
+/// Dispatches a parsed command line to its implementation, handling the
+/// global observability surface: `--quiet` / `-v` / `--log-level` set the
+/// logging facade's level, and `--trace-out PATH` enables telemetry for
+/// the run, writes the trace JSON, and appends the human report table to
+/// the command's output.
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] for unknown commands/options or failed runs.
 pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    configure_logging(parsed)?;
+    let trace_out = parsed.get("trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        // Start the traced run from a clean slate so the emitted file
+        // describes exactly this command.
+        dmra_obs::global().reset();
+        dmra_obs::global_trace().clear();
+        dmra_obs::set_enabled(true);
+    }
+    let result = dispatch_inner(parsed);
+    if let Some(path) = trace_out {
+        dmra_obs::set_enabled(false);
+        let report = write_trace(&path, &parsed.command)?;
+        return result.map(|text| {
+            format!(
+                "{text}\n--- telemetry report ---\n{report}trace written to {}\n",
+                path.display()
+            )
+        });
+    }
+    result
+}
+
+/// Applies the verbosity surface: default Info, `--verbose`/`-v` raises
+/// to Debug, `--quiet` lowers to Warn, and an explicit `--log-level`
+/// overrides both.
+fn configure_logging(parsed: &ParsedArgs) -> Result<(), ArgError> {
+    let mut level = Level::Info;
+    if parsed.has_flag("verbose") {
+        level = Level::Debug;
+    }
+    if parsed.has_flag("quiet") {
+        level = Level::Warn;
+    }
+    if let Some(raw) = parsed.get("log-level") {
+        level = raw.parse().map_err(|e| ArgError(format!("{e}")))?;
+    }
+    dmra_obs::set_level(level);
+    Ok(())
+}
+
+/// Serializes the global registry + trace log to `path` (schema
+/// `dmra-obs/1`, documented in DESIGN.md §10) and returns the human
+/// report table.
+fn write_trace(path: &std::path::Path, command: &str) -> Result<String, ArgError> {
+    let snapshot = dmra_obs::global().snapshot();
+    let trace = dmra_obs::global_trace();
+    let json = format!(
+        "{{\n  \"schema\": \"dmra-obs/1\",\n  \"command\": \"{command}\",\n  \
+         \"dropped_events\": {},\n  \"events\": {},\n  \"metrics\": {}\n}}\n",
+        trace.dropped(),
+        trace.to_json(),
+        snapshot.to_json()
+    );
+    std::fs::write(path, json)
+        .map_err(|e| ArgError(format!("cannot write trace to {}: {e}", path.display())))?;
+    Ok(snapshot.render_table())
+}
+
+fn dispatch_inner(parsed: &ParsedArgs) -> Result<String, ArgError> {
     match parsed.command.as_str() {
         "run" => cmd_run(parsed),
         "sweep" => cmd_sweep(parsed),
@@ -120,7 +193,17 @@ fn algorithms(selector: &str, seed: u64, rho: f64) -> Result<Vec<Box<dyn Allocat
 }
 
 fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["ues", "seed", "iota", "rho", "placement", "algo", "threads"])?;
+    parsed.expect_keys(&[
+        "ues",
+        "seed",
+        "iota",
+        "rho",
+        "placement",
+        "algo",
+        "threads",
+        "log-level",
+        "trace-out",
+    ])?;
     let seed = parsed.get_or("seed", 42u64)?;
     let rho = parsed.get_or("rho", 100.0f64)?;
     let instance = scenario_from(parsed)?
@@ -140,6 +223,7 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "RRB-util%"
     );
     for algo in algorithms(parsed.get("algo").unwrap_or("all"), seed, rho)? {
+        obs_debug!("running allocator {}", algo.name());
         let allocation = algo.allocate(&instance);
         allocation
             .validate(&instance)
@@ -159,7 +243,16 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["seed", "iota", "placement", "reps", "format", "threads"])?;
+    parsed.expect_keys(&[
+        "seed",
+        "iota",
+        "placement",
+        "reps",
+        "format",
+        "threads",
+        "log-level",
+        "trace-out",
+    ])?;
     let base = scenario_from(parsed)?;
     let reps = parsed.get_or("reps", 3u32)?;
     if reps == 0 {
@@ -188,7 +281,15 @@ fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["ues", "seed", "drop", "iota", "placement", "rho"])?;
+    parsed.expect_keys(&[
+        "ues",
+        "seed",
+        "drop",
+        "iota",
+        "placement",
+        "rho",
+        "log-level",
+    ])?;
     let drop_pct = parsed.get_or("drop", 0.0f64)?;
     if !(0.0..100.0).contains(&drop_pct) {
         return Err(ArgError("--drop must be a percentage in [0, 100)".into()));
@@ -236,6 +337,8 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "iota",
         "placement",
         "engine",
+        "log-level",
+        "trace-out",
     ])?;
     let config = DynamicConfig {
         scenario: scenario_from(parsed)?,
@@ -244,6 +347,12 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         epochs: parsed.get_or("epochs", 50usize)?,
         seed: parsed.get_or("seed", 42u64)?,
     };
+    obs_debug!(
+        "dynamic: rate {} holding {} epochs {}",
+        config.arrival_rate,
+        config.mean_holding,
+        config.epochs
+    );
     let simulator = DynamicSimulator::new(config);
     // Both engines are bit-identical; `scratch` is the slow executable
     // specification, exposed for spot-checks and benchmarking.
@@ -279,6 +388,7 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "iota",
         "placement",
         "policy",
+        "log-level",
     ])?;
     let speed = parsed.get_or("speed", 5.0f64)?;
     if speed < 0.0 {
@@ -322,7 +432,15 @@ served (final):  {served_last}
 }
 
 fn cmd_plan(parsed: &ParsedArgs) -> Result<String, ArgError> {
-    parsed.expect_keys(&["rate", "holding", "target", "iota", "placement", "seed"])?;
+    parsed.expect_keys(&[
+        "rate",
+        "holding",
+        "target",
+        "iota",
+        "placement",
+        "seed",
+        "log-level",
+    ])?;
     let rate = parsed.get_or("rate", 100.0f64)?;
     let holding = parsed.get_or("holding", 5.0f64)?;
     let target_pct = parsed.get_or("target", 2.0f64)?;
@@ -462,5 +580,48 @@ mod tests {
     fn unknown_option_is_rejected() {
         let err = run(&["dynamic", "--warp", "9"]).unwrap_err();
         assert!(err.to_string().contains("--warp"));
+    }
+
+    #[test]
+    fn bad_log_level_is_rejected() {
+        let err = run(&["run", "--ues", "40", "--log-level", "chatty"]).unwrap_err();
+        assert!(err.to_string().contains("chatty"));
+    }
+
+    #[test]
+    fn quiet_and_verbose_flags_are_accepted_everywhere() {
+        run(&["plan", "--quiet"]).unwrap();
+        run(&["plan", "-v"]).unwrap();
+    }
+
+    #[test]
+    fn trace_out_writes_json_and_appends_report() {
+        let path = std::env::temp_dir().join(format!("dmra-trace-{}.json", std::process::id()));
+        let text = run(&[
+            "dynamic",
+            "--rate",
+            "10",
+            "--epochs",
+            "8",
+            "--holding",
+            "2",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The command output still leads, then the telemetry report.
+        assert!(text.contains("admitted"));
+        assert!(text.contains("telemetry report"));
+        assert!(text.contains("dmra.solves"));
+        assert!(text.contains("sim.epoch_ns"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"schema\": \"dmra-obs/1\""));
+        assert!(json.contains("\"command\": \"dynamic\""));
+        assert!(json.contains("\"sim.epoch\""));
+        assert!(json.contains("\"dmra.solve\""));
+        assert!(json.contains("\"online.epoch_build\""));
+        // Telemetry is switched off again after the traced run.
+        assert!(!dmra_obs::enabled());
     }
 }

@@ -1,6 +1,10 @@
 //! The `dmra` binary: parse, dispatch, print.
+//!
+//! Results go to stdout; diagnostics go through the `dmra-obs` logging
+//! facade on stderr, so piped output stays machine-readable.
 
 use dmra_cli::{dispatch, ParsedArgs};
+use dmra_obs::obs_error;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -8,7 +12,7 @@ fn main() -> ExitCode {
     let parsed = match ParsedArgs::parse(args) {
         Ok(parsed) => parsed,
         Err(err) => {
-            eprintln!("error: {err}");
+            obs_error!("{err}");
             return ExitCode::FAILURE;
         }
     };
@@ -18,7 +22,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(err) => {
-            eprintln!("error: {err}");
+            obs_error!("{err}");
             ExitCode::FAILURE
         }
     }

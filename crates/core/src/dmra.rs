@@ -87,6 +87,17 @@ pub struct DmraOutcome {
     /// the number of edge-served UEs; the final silent iteration accepts
     /// nobody and is omitted).
     pub acceptances: Vec<usize>,
+    /// UEs still unmatched (neither edge-assigned nor cloud-forwarded)
+    /// after each non-silent iteration — the other half of the
+    /// convergence trajectory. Monotonically non-increasing; parallel to
+    /// `acceptances`.
+    pub unmatched: Vec<usize>,
+    /// Candidate links pruned permanently across the run (line 10 of
+    /// Algorithm 1: a BS that can no longer fit the UE).
+    pub prunes: u64,
+    /// Provisional winners evicted by the radio-admission step (lines
+    /// 22–25: least-preferred winners dropped until the batch fits).
+    pub evictions: u64,
 }
 
 /// The DMRA allocator (Algorithm 1, centralized-state execution).
@@ -144,6 +155,12 @@ impl Dmra {
         instance: &ProblemInstance,
         ws: &mut DmraWorkspace,
     ) -> Result<DmraOutcome> {
+        // Telemetry is observe-only: the flag is read once, the clock only
+        // when enabled, and all recording happens after the match loop —
+        // nothing here can influence a decision below.
+        let obs_on = dmra_obs::enabled();
+        let solve_started = obs_on.then(std::time::Instant::now);
+
         let n_ues = instance.n_ues();
         let n_bss = instance.n_bss();
         let n_svcs = instance.catalog().len() as usize;
@@ -203,6 +220,11 @@ impl Dmra {
         let cloud = &mut ws.cloud;
         let mut proposals_total = 0u64;
         let mut acceptances: Vec<usize> = Vec::new();
+        let mut unmatched: Vec<usize> = Vec::new();
+        let mut prunes = 0u64;
+        let mut evictions = 0u64;
+        let mut assigned_total = 0usize;
+        let mut cloud_total = 0usize;
 
         // Reusable proposal buckets, one per (bs, service) pair; `touched`
         // lists the buckets filled this iteration (sorted before the BS
@@ -210,7 +232,8 @@ impl Dmra {
         // reference's nested BTreeMaps would). Every bucket is empty
         // between solves (each iteration drains the buckets it touched),
         // so reuse only needs to grow the slot table.
-        if ws.buckets.len() < n_bss * n_svcs {
+        let workspace_reused = ws.buckets.len() >= n_bss * n_svcs;
+        if !workspace_reused {
             ws.buckets.resize_with(n_bss * n_svcs, Vec::new);
         }
         debug_assert!(ws.buckets.iter().all(Vec::is_empty));
@@ -219,6 +242,7 @@ impl Dmra {
         let touched = &mut ws.touched;
         ws.winners.clear();
         let winners = &mut ws.winners;
+        let mut final_iterations = None;
 
         for iteration in 1..=self.config.max_iterations {
             // ---- UE side: lines 3–10 ----
@@ -233,6 +257,7 @@ impl Dmra {
                         // Line 1 / fallthrough of lines 4–10: no BS can
                         // serve this UE; forward to the remote cloud.
                         cloud[u] = true;
+                        cloud_total += 1;
                         break;
                     }
                     // Eq. (17) arg-min over the live window.
@@ -279,17 +304,14 @@ impl Dmra {
                         break;
                     }
                     // Line 10: the BS can never serve this UE again.
+                    prunes += 1;
                     len[u] -= 1;
                     cands.swap(start[u] + best_i, start[u] + len[u]);
                 }
             }
             if !any {
-                return Ok(DmraOutcome {
-                    allocation: Allocation::from_assignments(assigned),
-                    iterations: iteration,
-                    proposals: proposals_total,
-                    acceptances,
-                });
+                final_iterations = Some(iteration);
+                break;
             }
 
             // ---- BS side: lines 11–25 ----
@@ -321,6 +343,7 @@ impl Dmra {
                     while total > rem_rrb[bs] {
                         let dropped = winners.pop().expect("winners cannot empty before fitting");
                         total -= dropped.n_rrbs;
+                        evictions += 1;
                     }
                 }
                 for w in winners.drain(..) {
@@ -335,10 +358,70 @@ impl Dmra {
                 buckets[slot].clear();
             }
             touched.clear();
+            assigned_total += accepted_this_iteration;
             acceptances.push(accepted_this_iteration);
+            unmatched.push(n_ues - assigned_total - cloud_total);
         }
-        Err(Error::NonTermination {
-            bound: self.config.max_iterations,
+        let Some(iterations) = final_iterations else {
+            return Err(Error::NonTermination {
+                bound: self.config.max_iterations,
+            });
+        };
+
+        if obs_on {
+            // Handles are resolved once and cached; steady-state recording
+            // is one atomic op per metric (see BENCH_obs_overhead.json).
+            static SOLVES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.solves");
+            static ROUNDS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.rounds");
+            static PROPOSALS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.proposals");
+            static ACCEPTANCES: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("dmra.acceptances");
+            static CLOUD_FORWARDS: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("dmra.cloud_forwards");
+            static PRUNES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.prunes");
+            static EVICTIONS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.evictions");
+            static REUSE_HITS: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("dmra.workspace_reuse_hits");
+            static SOLVE_NS: dmra_obs::LazyHistogram =
+                dmra_obs::LazyHistogram::new("dmra.solve_ns");
+            SOLVES.get().inc();
+            ROUNDS.get().add(iterations as u64);
+            PROPOSALS.get().add(proposals_total);
+            ACCEPTANCES.get().add(assigned_total as u64);
+            CLOUD_FORWARDS.get().add(cloud_total as u64);
+            PRUNES.get().add(prunes);
+            EVICTIONS.get().add(evictions);
+            if workspace_reused {
+                REUSE_HITS.get().inc();
+            }
+            let solve_ns = solve_started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            SOLVE_NS.get().record(solve_ns);
+            dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                name: "dmra.solve",
+                index: SOLVES.get().get(),
+                fields: vec![
+                    ("ues", n_ues as f64),
+                    ("rounds", iterations as f64),
+                    ("proposals", proposals_total as f64),
+                    ("accepted", assigned_total as f64),
+                    ("cloud", cloud_total as f64),
+                    ("prunes", prunes as f64),
+                    ("evictions", evictions as f64),
+                    ("wall_ns", solve_ns as f64),
+                ],
+            });
+        }
+
+        Ok(DmraOutcome {
+            allocation: Allocation::from_assignments(assigned),
+            iterations,
+            proposals: proposals_total,
+            acceptances,
+            unmatched,
+            prunes,
+            evictions,
         })
     }
 
@@ -363,6 +446,11 @@ impl Dmra {
         let mut cloud: Vec<bool> = vec![false; n_ues];
         let mut proposals_total = 0u64;
         let mut acceptances: Vec<usize> = Vec::new();
+        let mut unmatched: Vec<usize> = Vec::new();
+        let mut prunes = 0u64;
+        let mut evictions = 0u64;
+        let mut assigned_total = 0usize;
+        let mut cloud_total = 0usize;
 
         for iteration in 1..=self.config.max_iterations {
             // ---- UE side: lines 3–10 ----
@@ -380,6 +468,7 @@ impl Dmra {
                         // Line 1 / fallthrough of lines 4–10: no BS can
                         // serve this UE; forward to the remote cloud.
                         cloud[u] = true;
+                        cloud_total += 1;
                         break;
                     }
                     let best = select_ue_proposal(self.config.rho, svc.as_usize(), &b_u[u], &state)
@@ -397,6 +486,7 @@ impl Dmra {
                         break;
                     }
                     // Line 10: the BS can never serve this UE again.
+                    prunes += 1;
                     b_u[u].remove(best);
                 }
             }
@@ -406,6 +496,9 @@ impl Dmra {
                     iterations: iteration,
                     proposals: proposals_total,
                     acceptances,
+                    unmatched,
+                    prunes,
+                    evictions,
                 });
             }
 
@@ -436,6 +529,7 @@ impl Dmra {
                     while total > state.rem_rrb[bs.as_usize()] {
                         let dropped = winners.pop().expect("winners cannot empty before fitting");
                         total -= demand(dropped);
+                        evictions += 1;
                     }
                 }
                 for u in winners {
@@ -445,7 +539,9 @@ impl Dmra {
                     accepted_this_iteration += 1;
                 }
             }
+            assigned_total += accepted_this_iteration;
             acceptances.push(accepted_this_iteration);
+            unmatched.push(n_ues - assigned_total - cloud_total);
         }
         Err(Error::NonTermination {
             bound: self.config.max_iterations,
@@ -933,5 +1029,37 @@ mod tests {
         // Every BS with proposals accepts at least one UE per iteration
         // (the termination argument), so no zero entries appear.
         assert!(out.acceptances.iter().all(|&a| a > 0));
+        // The unmatched trajectory parallels the acceptance timeline and
+        // is monotonically non-increasing, ending at zero residual demand
+        // (everyone is edge-served or cloud-forwarded at quiescence).
+        assert_eq!(out.unmatched.len(), out.acceptances.len());
+        assert!(out.unmatched.windows(2).all(|w| w[1] <= w[0]));
+        let served = out.allocation.edge_served();
+        let cloud = out.allocation.cloud_ues().count();
+        assert_eq!(
+            *out.unmatched.last().unwrap(),
+            inst.n_ues() - served - cloud
+        );
+    }
+
+    #[test]
+    fn trajectory_counters_match_reference_on_contested_instance() {
+        // The contested instance forces a radio-admission eviction and
+        // candidate prunes; the dense solver must report the same counts
+        // as the line-by-line reference (full-outcome equality covers the
+        // fields, this spells the trajectory out for clarity).
+        let inst = contested_instance(1);
+        let dmra = Dmra::default();
+        let fast = dmra.solve(&inst).unwrap();
+        let reference = dmra.solve_reference(&inst).unwrap();
+        assert_eq!(fast.iterations, reference.iterations);
+        assert_eq!(fast.proposals, reference.proposals);
+        assert_eq!(fast.acceptances, reference.acceptances);
+        assert_eq!(fast.unmatched, reference.unmatched);
+        assert_eq!(fast.prunes, reference.prunes);
+        assert_eq!(fast.evictions, reference.evictions);
+        // One UE loses the only slot and retries until its candidate set
+        // empties: at least one prune must have happened.
+        assert!(fast.prunes > 0, "expected prunes on the contested instance");
     }
 }

@@ -116,6 +116,13 @@ impl DeploymentContext {
         rem_rrb: &[RrbCount],
         ues: Vec<UeSpec>,
     ) -> Result<&ProblemInstance> {
+        // Observe-only telemetry: one flag read up front, all recording
+        // after the rebuild. Nothing here touches candidate generation.
+        let obs_on = dmra_obs::enabled();
+        let build_started = obs_on.then(std::time::Instant::now);
+        let mut precull_kept = 0u64;
+        let mut precull_rejected = 0u64;
+
         let inst = &mut self.instance;
         let n_bss = inst.bss.len();
         if rem_cru.len() != n_bss || rem_rrb.len() != n_bss {
@@ -177,6 +184,10 @@ impl DeploymentContext {
                         *radius,
                         &mut self.query_buf,
                     );
+                    if obs_on {
+                        precull_kept += self.query_buf.len() as u64;
+                        precull_rejected += (n_bss - self.query_buf.len()) as u64;
+                    }
                     scan_candidate_row(
                         &inst.ues[u],
                         &inst.bss,
@@ -215,10 +226,61 @@ impl DeploymentContext {
         // Constraint (16): the worst-case price is monotone in distance,
         // so only a new high-water distance needs re-validation — and it
         // fails with exactly the error a from-scratch build would raise.
-        if max_candidate_distance > self.validated_distance {
+        let margin_recheck = max_candidate_distance > self.validated_distance;
+        if margin_recheck {
             inst.pricing
                 .validate_margin(&inst.sps, max_candidate_distance)?;
             self.validated_distance = max_candidate_distance;
+        }
+
+        if obs_on {
+            // Handles are resolved once and cached; steady-state recording
+            // is one atomic op per metric (see BENCH_obs_overhead.json).
+            static EPOCH_BUILDS: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.epoch_builds");
+            static ROWS_REBUILT: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.rows_rebuilt");
+            static PRECULL_KEPT: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.precull_kept");
+            static PRECULL_REJECTED: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.precull_rejected");
+            static LINKS_KEPT: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.links_kept");
+            static MARGIN_RECHECKS: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.margin_rechecks");
+            static VALIDATED_DISTANCE_M: dmra_obs::LazyGauge =
+                dmra_obs::LazyGauge::new("online.validated_distance_m");
+            static EPOCH_BUILD_NS: dmra_obs::LazyHistogram =
+                dmra_obs::LazyHistogram::new("online.epoch_build_ns");
+            let inst = &self.instance;
+            EPOCH_BUILDS.get().inc();
+            ROWS_REBUILT.get().add(inst.ues.len() as u64);
+            PRECULL_KEPT.get().add(precull_kept);
+            PRECULL_REJECTED.get().add(precull_rejected);
+            LINKS_KEPT.get().add(inst.links.len() as u64);
+            if margin_recheck {
+                MARGIN_RECHECKS.get().inc();
+            }
+            // High-water validated distance, in whole meters.
+            VALIDATED_DISTANCE_M
+                .get()
+                .set_max(self.validated_distance.get() as u64);
+            let build_ns = build_started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            EPOCH_BUILD_NS.get().record(build_ns);
+            dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                name: "online.epoch_build",
+                index: EPOCH_BUILDS.get().get(),
+                fields: vec![
+                    ("ues", inst.ues.len() as f64),
+                    ("precull_kept", precull_kept as f64),
+                    ("precull_rejected", precull_rejected as f64),
+                    ("links", inst.links.len() as f64),
+                    ("margin_recheck", f64::from(u8::from(margin_recheck))),
+                    ("wall_ns", build_ns as f64),
+                ],
+            });
         }
         Ok(&self.instance)
     }

@@ -1,0 +1,348 @@
+//! Atomic metric primitives: counters, gauges and fixed-bucket
+//! histograms. All operations are lock-free and safe to call from any
+//! thread; cross-registry aggregation goes through `merge` methods so
+//! per-worker registries never contend on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    /// Folds another counter's value into this one.
+    pub fn merge(&self, other: &Counter) {
+        self.add(other.get());
+    }
+}
+
+/// A last-value / high-water-mark gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the gauge with `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the gauge to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    /// Folds another gauge into this one, keeping the maximum.
+    pub fn merge(&self, other: &Gauge) {
+        self.set_max(other.get());
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` counts observations `v`
+/// with `2^(i-1) ≤ v < 2^i` (bucket 0 holds `v == 0`), so the range
+/// spans `[0, 2^46)` — about 20 hours when observations are
+/// nanoseconds.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A fixed power-of-two-bucket histogram for latency-style values.
+///
+/// Recording is a handful of relaxed atomic RMWs: one bucket
+/// increment plus count/sum/min/max updates. Bucket boundaries are
+/// powers of two, which is plenty of resolution for wall-clock spans
+/// and makes merging across worker registries a plain element-wise
+/// add.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket that holds `v`.
+    #[inline]
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Resets the histogram to empty.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram into this one (element-wise bucket add,
+    /// min/max fold).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Summarizes the histogram (count, sum, min/mean/max, bucket
+    /// percentiles). Percentiles are bucket upper bounds, i.e. exact to
+    /// within a factor of two — enough to rank phases and spot
+    /// regressions without per-observation storage.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramSummary {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// observation (0 when empty).
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i - 1 (bucket 0 is {0}).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median bucket upper bound.
+    pub p50: u64,
+    /// 90th-percentile bucket upper bound.
+    pub p90: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_get_reset_merge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let d = Counter::new();
+        d.add(7);
+        c.merge(&d);
+        assert_eq!(c.get(), 12);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_merges_as_high_water() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set_max(3);
+        assert_eq!(g.get(), 10);
+        g.set_max(42);
+        assert_eq!(g.get(), 42);
+        let h = Gauge::new();
+        h.set(7);
+        g.merge(&h);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_min_mean_max() {
+        let h = Histogram::new();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 100);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 40);
+        assert!((s.mean - 25.0).abs() < 1e-9);
+        assert!(s.p50 >= 20 && s.p50 <= 31, "p50 = {}", s.p50);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::new().summary();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(100);
+        b.record(2);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 100);
+    }
+}

@@ -1,0 +1,78 @@
+//! RAII wall-clock span timers.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records the wall-clock time between construction and drop into a
+/// [`Histogram`], in nanoseconds.
+///
+/// Construct through [`crate::time`], which returns an inert timer
+/// (no clock read at all) when telemetry is disabled.
+#[derive(Debug)]
+pub struct SpanTimer {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl SpanTimer {
+    /// Starts a live timer recording into `hist` on drop.
+    #[must_use]
+    pub fn start(hist: Arc<Histogram>) -> Self {
+        Self {
+            inner: Some((hist, Instant::now())),
+        }
+    }
+
+    /// An inert timer: never reads the clock, records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Stops the timer and returns the elapsed nanoseconds (recording
+    /// into the histogram as usual), or `None` if the timer was inert.
+    pub fn stop(mut self) -> Option<u64> {
+        let (hist, started) = self.inner.take()?;
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        hist.record(ns);
+        Some(ns)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((hist, started)) = self.inner.take() {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hist.record(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_into_histogram() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let _t = SpanTimer::start(Arc::clone(&hist));
+        }
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn stop_returns_elapsed_and_records() {
+        let hist = Arc::new(Histogram::new());
+        let t = SpanTimer::start(Arc::clone(&hist));
+        let ns = t.stop();
+        assert!(ns.is_some());
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn disabled_timer_is_inert() {
+        let t = SpanTimer::disabled();
+        assert_eq!(t.stop(), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Bounded convergence-trace event log.
+//!
+//! Instrumentation appends one [`TraceEvent`] per solve / epoch /
+//! sweep cell; the CLI drains the log into `trace.json`. The log is
+//! bounded so a runaway sweep cannot exhaust memory — overflow is
+//! counted, never silently dropped.
+
+use crate::registry::json_escape;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Default capacity of the global trace log (events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// One traced occurrence: a name, a sequence index within that name,
+/// and a flat list of numeric fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event kind, e.g. `"sim.epoch"` or `"dmra.solve"`.
+    pub name: &'static str,
+    /// Sequence number within the kind (epoch index, solve ordinal,
+    /// sweep cell index, ...).
+    pub index: u64,
+    /// Named numeric payload fields.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let val = if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_owned()
+                };
+                format!("\"{}\": {val}", json_escape(k))
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"name\": \"{}\", \"index\": {}, \"fields\": {{{fields}}}}}",
+            json_escape(self.name),
+            self.index
+        )
+    }
+}
+
+/// A bounded, thread-safe, append-only event log.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceLog {
+    /// Creates a log holding at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            capacity,
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, or counts it as dropped when the log is full.
+    pub fn record(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("obs trace log poisoned");
+        if events.len() < self.capacity {
+            events.push(event);
+        } else {
+            drop(events);
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("obs trace log poisoned").len()
+    }
+
+    /// `true` when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events rejected because the log was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Removes and returns every retained event (drop counter is
+    /// reset too).
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.dropped.store(0, std::sync::atomic::Ordering::Relaxed);
+        std::mem::take(&mut *self.events.lock().expect("obs trace log poisoned"))
+    }
+
+    /// Clears the log without returning the events.
+    pub fn clear(&self) {
+        let _ = self.drain();
+    }
+
+    /// Renders the retained events as a JSON array (one event per
+    /// line for scannability).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let events = self.events.lock().expect("obs trace log poisoned");
+        let body = events
+            .iter()
+            .map(|e| format!("    {}", e.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        if body.is_empty() {
+            "[]".to_owned()
+        } else {
+            format!("[\n{body}\n  ]")
+        }
+    }
+}
+
+/// The process-wide trace log used by workspace instrumentation.
+#[must_use]
+pub fn global_trace() -> &'static TraceLog {
+    static GLOBAL: OnceLock<TraceLog> = OnceLock::new();
+    GLOBAL.get_or_init(TraceLog::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(i: u64) -> TraceEvent {
+        TraceEvent {
+            name: "test.event",
+            index: i,
+            fields: vec![("x", 1.5), ("y", 2.0)],
+        }
+    }
+
+    #[test]
+    fn record_and_drain_round_trip() {
+        let log = TraceLog::with_capacity(8);
+        log.record(event(0));
+        log.record(event(1));
+        assert_eq!(log.len(), 2);
+        let events = log.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].index, 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let log = TraceLog::with_capacity(1);
+        log.record(event(0));
+        log.record(event(1));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let json = event(3).to_json();
+        assert_eq!(
+            json,
+            "{\"name\": \"test.event\", \"index\": 3, \"fields\": {\"x\": 1.5, \"y\": 2}}"
+        );
+    }
+
+    #[test]
+    fn log_json_is_an_array() {
+        let log = TraceLog::with_capacity(8);
+        assert_eq!(log.to_json(), "[]");
+        log.record(event(0));
+        let json = log.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"index\": 0"));
+    }
+}

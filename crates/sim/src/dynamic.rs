@@ -188,8 +188,14 @@ impl DynamicSimulator {
         let mut session = self.allocator.session();
         let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
         let mut state = EngineState::new(deployment.bss(), cfg.epochs);
+        // Observe-only telemetry: the flag is read once per run and every
+        // recording happens after the epoch's bookkeeping is committed, so
+        // the engine stays bit-identical to `run_scratch`.
+        let obs_on = dmra_obs::enabled();
 
         for epoch in 0..cfg.epochs {
+            let epoch_started = obs_on.then(std::time::Instant::now);
+            let admitted_before = state.outcome.admitted;
             state.release_departures(epoch);
             let n_new = poisson(cfg.arrival_rate, &mut rng);
             state.outcome.arrivals += n_new as u64;
@@ -207,6 +213,39 @@ impl DynamicSimulator {
                 state.commit_epoch(instance, &allocation, &holdings, epoch);
             }
             state.finish_epoch();
+            if obs_on {
+                // Cached handles: one atomic op per metric per epoch.
+                static EPOCHS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.epochs");
+                static ARRIVALS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.arrivals");
+                static EPOCH_NS: dmra_obs::LazyHistogram =
+                    dmra_obs::LazyHistogram::new("sim.epoch_ns");
+                EPOCHS.get().inc();
+                ARRIVALS.get().add(n_new as u64);
+                let epoch_ns = epoch_started.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                EPOCH_NS.get().record(epoch_ns);
+                dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                    name: "sim.epoch",
+                    index: epoch as u64,
+                    fields: vec![
+                        ("arrivals", n_new as f64),
+                        (
+                            "admitted",
+                            (state.outcome.admitted - admitted_before) as f64,
+                        ),
+                        (
+                            "in_service",
+                            state.outcome.in_service.last().copied().unwrap_or(0) as f64,
+                        ),
+                        (
+                            "occupancy",
+                            state.outcome.rrb_occupancy.last().copied().unwrap_or(0.0),
+                        ),
+                        ("wall_ns", epoch_ns as f64),
+                    ],
+                });
+            }
         }
         Ok(state.outcome)
     }

@@ -192,6 +192,16 @@ impl Table {
     }
 }
 
+/// A stable fingerprint of the current worker thread, used to attribute
+/// sweep cells to workers after the join (the rank assignment happens
+/// serially, so only the raw identity crosses the fan-out boundary).
+fn worker_fingerprint() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    hasher.finish()
+}
+
 fn trim_float(x: f64) -> String {
     if (x - x.round()).abs() < 1e-9 {
         format!("{}", x.round() as i64)
@@ -270,29 +280,71 @@ impl SweepRunner {
         F: Fn(&ProblemInstance, &Allocation) -> f64 + Sync,
     {
         let reps = self.replications as usize;
+        // Observe-only telemetry: each cell carries its wall time and a
+        // worker fingerprint out of the fan-out; everything is recorded
+        // serially after the join, so workers never contend on a registry
+        // and the Table stays bit-identical for any thread count.
+        let obs_on = dmra_obs::enabled();
         // One grid cell per (point, replication): build the instance from
         // its independently derived seed and measure every algorithm on
         // it. Cells share nothing mutable, so the fan-out is order-free.
-        let cells: Vec<Result<Vec<f64>>> =
+        let cells: Vec<(Result<Vec<f64>>, u64, u64)> =
             par_map_indexed(self.threads, points.len() * reps, |g| {
+                let cell_started = obs_on.then(std::time::Instant::now);
                 let p_idx = g / reps;
                 let r = g % reps;
-                let seed = dmra_geo::rng::sub_seed(
-                    self.base_seed,
-                    &format!("sweep-point-{p_idx}-rep-{r}"),
-                );
-                let instance = points[p_idx].1.clone().with_seed(seed).build()?;
-                Ok(algorithms
-                    .iter()
-                    .map(|algo| {
-                        let allocation = algo.allocate(&instance);
-                        debug_assert!(allocation.validate(&instance).is_ok());
-                        metric(&instance, &allocation)
-                    })
-                    .collect())
+                let values = (|| {
+                    let seed = dmra_geo::rng::sub_seed(
+                        self.base_seed,
+                        &format!("sweep-point-{p_idx}-rep-{r}"),
+                    );
+                    let instance = points[p_idx].1.clone().with_seed(seed).build()?;
+                    Ok(algorithms
+                        .iter()
+                        .map(|algo| {
+                            let allocation = algo.allocate(&instance);
+                            debug_assert!(allocation.validate(&instance).is_ok());
+                            metric(&instance, &allocation)
+                        })
+                        .collect())
+                })();
+                let cell_ns = cell_started.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                let worker = if obs_on { worker_fingerprint() } else { 0 };
+                (values, cell_ns, worker)
             });
 
-        let mut cells = cells.into_iter();
+        if obs_on {
+            let reg = dmra_obs::global();
+            let cell_hist = reg.histogram("sweep.cell_ns");
+            let mut workers: Vec<u64> = Vec::new();
+            for (g, (_, cell_ns, worker)) in cells.iter().enumerate() {
+                cell_hist.record(*cell_ns);
+                // Dense worker rank by first appearance in grid order.
+                let rank = workers.iter().position(|w| w == worker).unwrap_or_else(|| {
+                    workers.push(*worker);
+                    workers.len() - 1
+                });
+                reg.counter(&format!("sweep.worker.{rank}.cells")).inc();
+                dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                    name: "sweep.cell",
+                    index: g as u64,
+                    fields: vec![
+                        ("point", (g / reps) as f64),
+                        ("rep", (g % reps) as f64),
+                        ("worker", rank as f64),
+                        ("wall_ns", *cell_ns as f64),
+                    ],
+                });
+            }
+            reg.counter("sweep.cells").add(cells.len() as u64);
+            reg.counter("sweep.points").add(points.len() as u64);
+            reg.gauge("sweep.workers_used")
+                .set_max(workers.len() as u64);
+        }
+
+        let mut cells = cells.into_iter().map(|(values, _, _)| values);
         let mut rows = Vec::with_capacity(points.len());
         for (x, _) in points {
             let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); algorithms.len()];

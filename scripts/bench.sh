@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Performance tracking: the criterion wall-clock benches, then the
 # machine-readable sweep/build/solver/online measurement that (re)writes
-# BENCH_sweep.json and BENCH_dynamic.json at the workspace root. Extra
-# arguments are forwarded to `cargo bench` (e.g. a bench name filter).
+# BENCH_sweep.json and BENCH_dynamic.json at the workspace root, and the
+# telemetry overhead gate that writes BENCH_obs_overhead.json (fails when
+# enabling telemetry costs more than its bound — 2% by default, see
+# DMRA_OBS_OVERHEAD_BOUND_PCT). Extra arguments are forwarded to
+# `cargo bench` (e.g. a bench name filter).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench -p dmra-bench "$@"
 cargo run --release -p dmra-bench --bin figures -- bench
+cargo run --release -p dmra-bench --bin figures -- obs_overhead
