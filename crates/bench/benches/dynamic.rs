@@ -1,22 +1,25 @@
 //! Wall-clock performance of the online arrival/departure engines.
 //!
-//! Pits the epoch-persistent incremental engine (`DynamicSimulator::run`)
-//! against the full-residual-rebuild loop (`run_scratch`) it replaced on
-//! paper-shaped deployments. The epoch count is kept modest so the bench
-//! stays quick; `figures -- bench` records the paper-scale numbers in
-//! `BENCH_dynamic.json`.
+//! Pits the event-driven engine (`DynamicSimulator::run_event`) and the
+//! epoch-persistent incremental engine (`run`) against the
+//! full-residual-rebuild loop (`run_scratch`) on paper-shaped
+//! deployments. The epoch count is kept modest so the bench stays quick;
+//! `figures -- bench` and `figures -- bench_event` record the
+//! paper-scale numbers in `BENCH_dynamic.json` and
+//! `BENCH_dynamic_event.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra_sim::ScenarioConfig;
 use std::hint::black_box;
 
-fn config(arrival_rate: f64) -> DynamicConfig {
+fn config(arrival_rate: f64, epochs: usize) -> DynamicConfig {
     DynamicConfig {
         scenario: ScenarioConfig::paper_defaults(),
         arrival_rate,
         mean_holding: 5.0,
-        epochs: 40,
+        holding: HoldingDistribution::Geometric,
+        epochs,
         seed: 11,
     }
 }
@@ -25,10 +28,15 @@ fn bench_dynamic_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamic");
     group.sample_size(10);
     for &rate in &[60.0f64, 120.0] {
-        let sim = DynamicSimulator::new(config(rate));
+        let sim = DynamicSimulator::new(config(rate, 40));
         let incremental = sim.run().expect("incremental engine runs");
         let scratch = sim.run_scratch().expect("scratch engine runs");
+        let event = sim.run_event().expect("event engine runs");
         assert_eq!(incremental, scratch, "engines diverged at rate {rate}");
+        assert_eq!(incremental, event, "event engine diverged at rate {rate}");
+        group.bench_with_input(BenchmarkId::new("event", rate as u64), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run_event().unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("incremental", rate as u64),
             &sim,
@@ -38,6 +46,24 @@ fn bench_dynamic_engines(c: &mut Criterion) {
             b.iter(|| black_box(sim.run_scratch().unwrap()))
         });
     }
+    // The event engine's reason to exist: a low-load horizon where most
+    // epochs are idle and the fixed-epoch engines still pay per epoch.
+    let sim = DynamicSimulator::new(config(1.0, 2000));
+    assert_eq!(
+        sim.run_event().expect("event engine runs"),
+        sim.run().expect("incremental engine runs"),
+        "event engine diverged at low load"
+    );
+    group.bench_with_input(
+        BenchmarkId::new("event_low_load", 2000u64),
+        &sim,
+        |b, sim| b.iter(|| black_box(sim.run_event().unwrap())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("incremental_low_load", 2000u64),
+        &sim,
+        |b, sim| b.iter(|| black_box(sim.run().unwrap())),
+    );
     group.finish();
 }
 

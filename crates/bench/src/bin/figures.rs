@@ -15,17 +15,21 @@
 //! DMRA solver against its reference, and the incremental online engine
 //! against the scratch rebuild loop, writing `BENCH_sweep.json` and
 //! `BENCH_dynamic.json`, and ends with an instrumented per-phase
-//! breakdown. The `obs_overhead` job measures the telemetry-enabled vs
-//! -disabled dynamic simulation and writes `BENCH_obs_overhead.json`,
+//! breakdown. The `bench_event` job times the event-driven engine
+//! against both fixed-epoch loops on a low-load long-horizon workload,
+//! writes `BENCH_dynamic_event.json`, and fails when the speedup falls
+//! below its gate. The `obs_overhead` job measures the telemetry-enabled
+//! vs -disabled dynamic simulation and writes `BENCH_obs_overhead.json`,
 //! failing when the overhead exceeds its bound.
 
 use dmra_baselines::{Dcsp, NonCo};
 use dmra_bench::bench_instance;
 use dmra_core::{Allocator, Dmra, Threads};
 use dmra_obs::{obs_error, obs_info, Level};
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra_sim::experiments::{self, ExperimentOptions};
-use dmra_sim::{ScenarioConfig, SweepRunner, Table};
+use dmra_sim::{BsPlacement, ScenarioConfig, SweepRunner, Table};
+use dmra_types::{Meters, Rect};
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
@@ -72,6 +76,10 @@ fn main() {
     for job in jobs {
         if job == "bench" {
             bench_mode();
+            continue;
+        }
+        if job == "bench_event" {
+            bench_event_mode();
             continue;
         }
         if job == "obs_overhead" {
@@ -233,6 +241,7 @@ fn per_phase_breakdown() {
         scenario: ScenarioConfig::paper_defaults(),
         arrival_rate: 120.0,
         mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
         epochs: 100,
         seed: 11,
     });
@@ -257,6 +266,7 @@ fn bench_dynamic() {
             scenario: ScenarioConfig::paper_defaults(),
             arrival_rate,
             mean_holding: 5.0,
+            holding: HoldingDistribution::Geometric,
             epochs,
             seed: 11,
         };
@@ -300,6 +310,105 @@ fn bench_dynamic() {
     obs_info!("wrote BENCH_dynamic.json");
 }
 
+/// Times the event-driven engine against both fixed-epoch engines on a
+/// low-load long-horizon workload and writes `BENCH_dynamic_event.json`.
+///
+/// All three engines must produce bit-identical `DynamicOutcome`s (the
+/// run aborts on mismatch), and the event engine must beat the epoch
+/// loop by at least the required factor — at rate ≤ 2 most epochs are
+/// idle, so the event engine's O(events) cost should leave the epoch
+/// loop's O(epochs) instance builds far behind. Exit 1 when the gate
+/// fails, so `scripts/bench.sh` doubles as a perf regression check. The
+/// factor defaults to 5 and can be tightened or loosened via
+/// `DMRA_EVENT_SPEEDUP_MIN`.
+///
+/// The workload is a wide-area deployment — the paper's grid extended to
+/// 10 × 10 sites at the same 300 m ISD (20 BSs per SP instead of 5).
+/// Both fixed-epoch engines already skip instance builds on idle epochs,
+/// so the gated gap is per-arrival build cost: the scratch loop scans
+/// every site per build while the event engine's pruned build touches
+/// only the handful inside coverage radius, and that ratio needs more
+/// sites than the 25-BS paper grid to sit safely above the 5x bound.
+fn bench_event_mode() {
+    let min_speedup: f64 = std::env::var("DMRA_EVENT_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let mut scenario = ScenarioConfig::paper_defaults();
+    scenario.bss_per_sp = 20;
+    scenario.bs_placement = BsPlacement::RegularGrid {
+        rows: 10,
+        cols: 10,
+        isd: Meters::new(300.0),
+    };
+    scenario.region = Rect::square(Meters::new(3000.0));
+    scenario
+        .validate()
+        .expect("wide-area bench scenario is valid");
+    let mut rows = String::new();
+    let mut all_gates_pass = true;
+    for &(arrival_rate, epochs) in &[(0.5f64, 10_000usize), (2.0, 10_000)] {
+        let sim = DynamicSimulator::new(DynamicConfig {
+            scenario: scenario.clone(),
+            arrival_rate,
+            mean_holding: 5.0,
+            holding: HoldingDistribution::Geometric,
+            epochs,
+            seed: 11,
+        });
+        let (event_out, _) = timed(|| sim.run_event().expect("event engine runs"));
+        let (incremental_out, _) = timed(|| sim.run().expect("incremental engine runs"));
+        let (scratch_out, _) = timed(|| sim.run_scratch().expect("scratch engine runs"));
+        assert_eq!(
+            event_out, incremental_out,
+            "event engine diverged from incremental at rate {arrival_rate}"
+        );
+        assert_eq!(
+            event_out, scratch_out,
+            "event engine diverged from scratch at rate {arrival_rate}"
+        );
+        let event_secs = best_of(3, || sim.run_event().expect("event engine runs"));
+        let incremental_secs = best_of(3, || sim.run().expect("incremental engine runs"));
+        let scratch_secs = best_of(3, || sim.run_scratch().expect("scratch engine runs"));
+        let speedup_vs_epoch_loop = scratch_secs / event_secs;
+        let speedup_vs_incremental = incremental_secs / event_secs;
+        let gate_pass = speedup_vs_epoch_loop >= min_speedup;
+        all_gates_pass &= gate_pass;
+        obs_info!(
+            "dynamic event rate {arrival_rate}, {epochs} epochs ({} arrivals): \
+             event {event_secs:.4} s, incremental {incremental_secs:.4} s, \
+             scratch {scratch_secs:.4} s ({speedup_vs_epoch_loop:.1}x vs epoch \
+             loop, {speedup_vs_incremental:.1}x vs incremental)",
+            event_out.arrivals
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"arrival_rate\": {arrival_rate}, \"epochs\": {epochs}, \
+             \"arrivals\": {}, \"event_secs\": {event_secs:.4}, \
+             \"incremental_secs\": {incremental_secs:.4}, \
+             \"scratch_secs\": {scratch_secs:.4}, \
+             \"speedup_vs_epoch_loop\": {speedup_vs_epoch_loop:.2}, \
+             \"speedup_vs_incremental\": {speedup_vs_incremental:.2}, \
+             \"gate_pass\": {gate_pass}, \"identical_outcome\": true }}",
+            event_out.arrivals
+        ));
+    }
+    let json = format!(
+        "{{\n  \"title\": \"event-driven engine vs fixed-epoch loops, low-load \
+         long-horizon regime (DMRA allocator, 10x10-site wide-area grid, \
+         geometric holding)\",\n  \"min_speedup_vs_epoch_loop\": {min_speedup},\n  \
+         \"runs\": [\n{rows}\n  ]\n}}\n"
+    );
+    fs::write("BENCH_dynamic_event.json", &json).expect("can write BENCH_dynamic_event.json");
+    obs_info!("wrote BENCH_dynamic_event.json");
+    if !all_gates_pass {
+        obs_error!("event engine speedup fell below the {min_speedup}x bound");
+        std::process::exit(1);
+    }
+}
+
 /// Measures the runtime cost of enabling telemetry on the dynamic
 /// simulation hot path and writes `BENCH_obs_overhead.json`.
 ///
@@ -321,6 +430,7 @@ fn obs_overhead_mode() {
         scenario: ScenarioConfig::paper_defaults(),
         arrival_rate: 300.0,
         mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
         epochs: 3600,
         seed: 11,
     });

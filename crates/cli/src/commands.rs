@@ -7,7 +7,7 @@ use dmra_core::agents::run_decentralized;
 use dmra_core::{Allocator, Dmra, DmraConfig, Threads};
 use dmra_obs::{obs_debug, Level};
 use dmra_proto::DropPolicy;
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra_sim::erlang::TrunkModel;
 use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
 use dmra_sim::{Metrics, ScenarioConfig, SweepRunner};
@@ -36,10 +36,12 @@ pub fn help_text() -> String {
      \t--ues N --seed S --drop PCT                (defaults 400, 42, 0)\n\
      dynamic   online arrivals/departures\n\
      \t--rate X       arrivals per epoch          (default 40)\n\
-     \t--holding X    mean holding epochs         (default 5)\n\
+     \t--holding H    mean holding epochs, or a distribution\n\
+     \t               geometric | det | exp, optionally with a mean\n\
+     \t               as NAME:X — e.g. 5, exp, det:3  (default geometric:5)\n\
      \t--epochs N     horizon                     (default 50)\n\
      \t--seed S                                   (default 42)\n\
-     \t--engine E     incremental | scratch       (default incremental; identical results)\n\
+     \t--engine E     event | incremental | scratch (default incremental; identical results)\n\
      mobility  moving UEs, handover statistics\n\
      \t--ues N --speed MPS --epochs N --seed S    (defaults 300, 5, 30, 42)\n\
      \t--policy P     full | sticky               (default full)\n\
@@ -340,28 +342,33 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "log-level",
         "trace-out",
     ])?;
+    let (holding, mean_holding) = parse_holding(parsed.get("holding").unwrap_or("5"))?;
     let config = DynamicConfig {
         scenario: scenario_from(parsed)?,
         arrival_rate: parsed.get_or("rate", 40.0f64)?,
-        mean_holding: parsed.get_or("holding", 5.0f64)?,
+        mean_holding,
+        holding,
         epochs: parsed.get_or("epochs", 50usize)?,
         seed: parsed.get_or("seed", 42u64)?,
     };
     obs_debug!(
-        "dynamic: rate {} holding {} epochs {}",
+        "dynamic: rate {} holding {}:{} epochs {}",
         config.arrival_rate,
+        config.holding,
         config.mean_holding,
         config.epochs
     );
     let simulator = DynamicSimulator::new(config);
-    // Both engines are bit-identical; `scratch` is the slow executable
-    // specification, exposed for spot-checks and benchmarking.
+    // All three engines are bit-identical; `event` skips idle epochs,
+    // `scratch` is the slow executable specification, exposed for
+    // spot-checks and benchmarking.
     let out = match parsed.get("engine").unwrap_or("incremental") {
+        "event" => simulator.run_event(),
         "incremental" => simulator.run(),
         "scratch" => simulator.run_scratch(),
         other => {
             return Err(ArgError(format!(
-                "--engine must be 'incremental' or 'scratch', got '{other}'"
+                "--engine must be 'event', 'incremental' or 'scratch', got '{other}'"
             )))
         }
     }
@@ -377,6 +384,34 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         out.total_profit.get(),
         out.steady_state_occupancy() * 100.0
     ))
+}
+
+/// Parses the `--holding` argument. Three accepted shapes:
+///
+/// * a bare number (`--holding 5`) — geometric holding with that mean,
+///   the pre-distribution behaviour;
+/// * a distribution name (`--holding exp`) — that distribution with the
+///   default mean of 5 epochs;
+/// * `name:mean` (`--holding det:3`) — both at once.
+fn parse_holding(raw: &str) -> Result<(HoldingDistribution, f64), ArgError> {
+    if let Ok(mean) = raw.parse::<f64>() {
+        return Ok((HoldingDistribution::Geometric, mean));
+    }
+    let (name, mean) = match raw.split_once(':') {
+        Some((name, mean_raw)) => {
+            let mean = mean_raw.parse::<f64>().map_err(|_| {
+                ArgError(format!(
+                    "cannot parse holding mean '{mean_raw}' in --holding {raw}"
+                ))
+            })?;
+            (name, mean)
+        }
+        None => (raw, 5.0),
+    };
+    let dist = name
+        .parse::<HoldingDistribution>()
+        .map_err(|e| ArgError(e.to_string()))?;
+    Ok((dist, mean))
 }
 
 fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
@@ -531,15 +566,61 @@ mod tests {
     #[test]
     fn dynamic_engines_print_identical_reports() {
         let args = ["--rate", "15", "--epochs", "12", "--holding", "3"];
-        let incremental = run(&[&["dynamic", "--engine", "incremental"], &args[..]].concat());
-        let scratch = run(&[&["dynamic", "--engine", "scratch"], &args[..]].concat());
-        assert_eq!(incremental.unwrap(), scratch.unwrap());
+        let incremental =
+            run(&[&["dynamic", "--engine", "incremental"], &args[..]].concat()).unwrap();
+        let scratch = run(&[&["dynamic", "--engine", "scratch"], &args[..]].concat()).unwrap();
+        let event = run(&[&["dynamic", "--engine", "event"], &args[..]].concat()).unwrap();
+        assert_eq!(incremental, scratch);
+        assert_eq!(incremental, event);
     }
 
     #[test]
     fn dynamic_rejects_unknown_engine() {
         let err = run(&["dynamic", "--engine", "warp"]).unwrap_err();
         assert!(err.to_string().contains("--engine"));
+    }
+
+    #[test]
+    fn dynamic_accepts_holding_distributions() {
+        for holding in ["exp", "exponential:4", "det:3", "geometric:5", "geo"] {
+            let text = run(&[
+                "dynamic",
+                "--rate",
+                "8",
+                "--epochs",
+                "10",
+                "--holding",
+                holding,
+                "--engine",
+                "event",
+            ])
+            .unwrap();
+            assert!(text.contains("admitted"), "--holding {holding} failed");
+        }
+        // A bare number is still geometric with that mean: same report.
+        let args = ["--rate", "8", "--epochs", "10", "--engine", "event"];
+        let numeric = run(&[&["dynamic", "--holding", "5"], &args[..]].concat()).unwrap();
+        let named = run(&[&["dynamic", "--holding", "geometric:5"], &args[..]].concat()).unwrap();
+        assert_eq!(numeric, named);
+    }
+
+    #[test]
+    fn dynamic_rejects_bad_holding() {
+        let err = run(&["dynamic", "--holding", "weibull"]).unwrap_err();
+        assert!(err.to_string().contains("weibull"));
+        let err = run(&["dynamic", "--holding", "exp:soon"]).unwrap_err();
+        assert!(err.to_string().contains("soon"));
+    }
+
+    #[test]
+    fn dynamic_rejects_invalid_config_values() {
+        // Validation errors surface as CLI errors, not silent clamps.
+        let err = run(&["dynamic", "--rate", "-3"]).unwrap_err();
+        assert!(err.to_string().contains("arrival_rate"));
+        let err = run(&["dynamic", "--holding", "0.5"]).unwrap_err();
+        assert!(err.to_string().contains("mean_holding"));
+        let err = run(&["dynamic", "--holding", "exp:0.2"]).unwrap_err();
+        assert!(err.to_string().contains("mean_holding"));
     }
 
     #[test]

@@ -330,6 +330,35 @@ impl ScenarioConfig {
                 "rate_demand_mbps ({lo}, {hi}) must be a non-empty positive range"
             )));
         }
+        if let UePlacement::Hotspots {
+            n_hotspots,
+            spread,
+            fraction,
+        } = self.ue_placement
+        {
+            if n_hotspots == 0 {
+                return Err(Error::InvalidConfig(
+                    "hotspot placement needs at least one hotspot".into(),
+                ));
+            }
+            if !spread.get().is_finite() || spread.get() < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "hotspot spread ({spread}) must be finite and non-negative"
+                )));
+            }
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(Error::InvalidConfig(format!(
+                    "hotspot fraction ({fraction}) must be within [0, 1]"
+                )));
+            }
+        }
+        if let ServicePopularity::Zipf { exponent } = self.service_popularity {
+            if !exponent.is_finite() || exponent < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "zipf exponent ({exponent}) must be finite and non-negative"
+                )));
+            }
+        }
         self.pricing.validate()?;
         Ok(())
     }
@@ -588,6 +617,91 @@ mod tests {
         let mut cfg = ScenarioConfig::paper_defaults();
         cfg.n_services = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_hotspot_parameters_are_rejected() {
+        let base = ScenarioConfig::paper_defaults().with_ues(10);
+        let cases = [
+            (
+                UePlacement::Hotspots {
+                    n_hotspots: 0,
+                    spread: Meters::new(80.0),
+                    fraction: 0.5,
+                },
+                "hotspot",
+            ),
+            (
+                UePlacement::Hotspots {
+                    n_hotspots: 3,
+                    spread: Meters::new(-1.0),
+                    fraction: 0.5,
+                },
+                "spread",
+            ),
+            (
+                UePlacement::Hotspots {
+                    n_hotspots: 3,
+                    spread: Meters::new(f64::NAN),
+                    fraction: 0.5,
+                },
+                "spread",
+            ),
+            (
+                UePlacement::Hotspots {
+                    n_hotspots: 3,
+                    spread: Meters::new(80.0),
+                    fraction: 1.5,
+                },
+                "fraction",
+            ),
+            (
+                UePlacement::Hotspots {
+                    n_hotspots: 3,
+                    spread: Meters::new(80.0),
+                    fraction: f64::NAN,
+                },
+                "fraction",
+            ),
+        ];
+        for (placement, needle) in cases {
+            let err = base
+                .clone()
+                .with_ue_placement(placement)
+                .build()
+                .unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{placement:?}: error {err} does not mention {needle}"
+            );
+        }
+        // Boundary values are legal: fraction 0 and 1, zero spread.
+        for fraction in [0.0, 1.0] {
+            base.clone()
+                .with_ue_placement(UePlacement::Hotspots {
+                    n_hotspots: 2,
+                    spread: Meters::new(0.0),
+                    fraction,
+                })
+                .build()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_zipf_exponent_is_rejected() {
+        let base = ScenarioConfig::paper_defaults().with_ues(10);
+        for exponent in [f64::NAN, f64::INFINITY, -0.5] {
+            let err = base
+                .clone()
+                .with_service_popularity(ServicePopularity::Zipf { exponent })
+                .build()
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("zipf"),
+                "exponent {exponent}: error {err} does not mention zipf"
+            );
+        }
     }
 
     #[test]

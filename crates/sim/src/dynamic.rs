@@ -6,8 +6,10 @@
 //! module exercises exactly that regime:
 //!
 //! * tasks arrive as a Poisson process (`arrival_rate` per epoch),
-//! * each admitted task holds its CRUs and RRBs for a geometrically
-//!   distributed number of epochs (`mean_holding`),
+//! * each admitted task holds its CRUs and RRBs for a random duration
+//!   drawn from a configurable [`HoldingDistribution`] (geometric — the
+//!   paper-adjacent default — deterministic, or continuous exponential)
+//!   with mean `mean_holding` (validated ≥ 1 epoch),
 //! * at every epoch the batch of *new* arrivals is matched by a fresh DMRA
 //!   run against the BSs' *currently remaining* resources (existing
 //!   assignments are never migrated — admitted tasks keep their BS until
@@ -17,11 +19,18 @@
 //! is built whose BS budgets are the remaining capacities, so all static
 //! invariants (constraint validation, non-wastefulness) apply verbatim.
 //!
-//! Two engines produce **bit-identical** outcomes (the `incremental`
-//! integration tests pin this for every allocator, seed and thread
-//! count):
+//! Three engines produce **bit-identical** outcomes (the `incremental`
+//! and `event_engine` integration tests pin this for every allocator,
+//! holding distribution, seed and thread count):
 //!
-//! * [`DynamicSimulator::run`] — the incremental engine. A
+//! * [`DynamicSimulator::run_event`] — the **event-driven engine**. A
+//!   binary min-heap keyed on departure time replaces the per-epoch scan
+//!   over all tasks in service, RRB occupancy is maintained as a running
+//!   counter instead of being re-summed across BSs every epoch, and an
+//!   epoch without arrivals costs one Poisson draw plus an `O(1)` heap
+//!   peek — so low-load long-horizon runs cost `O(events)` matcher/build
+//!   work instead of `O(epochs)` (see `BENCH_dynamic_event.json`).
+//! * [`DynamicSimulator::run`] — the incremental fixed-epoch engine. A
 //!   [`DeploymentContext`] validates the deployment once, keeps the
 //!   spatial prune index and link evaluator across epochs, and rebuilds
 //!   the epoch instance in place; the allocator runs through a reusable
@@ -31,20 +40,26 @@
 //!   an exhaustive candidate scan each epoch), kept as the executable
 //!   specification and the benchmark baseline.
 //!
+//! All three consume the **same RNG stream** (per epoch: one Poisson
+//! draw, then — only if the batch is non-empty — the arrival workloads
+//! followed by one pre-drawn holding sample per arrival), so a seed fixes
+//! the workload trace regardless of engine, allocator or telemetry.
+//!
 //! # Examples
 //!
 //! ```
-//! use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+//! use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 //! use dmra_sim::ScenarioConfig;
 //!
 //! let config = DynamicConfig {
 //!     scenario: ScenarioConfig::paper_defaults(),
 //!     arrival_rate: 20.0,
 //!     mean_holding: 5.0,
+//!     holding: HoldingDistribution::Geometric,
 //!     epochs: 30,
 //!     seed: 7,
 //! };
-//! let outcome = DynamicSimulator::new(config).run()?;
+//! let outcome = DynamicSimulator::new(config).run_event()?;
 //! assert_eq!(
 //!     outcome.arrivals,
 //!     outcome.admitted + outcome.cloud_forwarded
@@ -57,12 +72,100 @@ use dmra_core::{
     Allocation, Allocator, CandidateScan, DeploymentContext, Dmra, ProblemInstance, Threads,
 };
 use dmra_geo::rng::component_rng;
+use dmra_obs::obs_warn;
 use dmra_types::{
-    BitsPerSec, BsId, BsSpec, Cru, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
+    BitsPerSec, BsId, BsSpec, Cru, Error, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
+
+/// How long an admitted task holds its resources.
+///
+/// Every variant draws durations with mean [`DynamicConfig::mean_holding`]
+/// epochs (validated ≥ 1). Samples are departure *offsets* from the
+/// admission epoch; resources are released at the first epoch boundary at
+/// or past the departure time, so every task occupies its BS for at least
+/// one full epoch.
+///
+/// RNG-stream discipline (DESIGN.md §11): `Geometric` consumes the same
+/// uniform draws as the pre-event-engine simulator (one per survived
+/// epoch), `Exponential` consumes exactly one uniform per task, and
+/// `Deterministic` consumes none — so within one distribution the
+/// workload trace depends only on the seed, never on the allocator or
+/// the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HoldingDistribution {
+    /// Discrete geometric duration `1 + k`, `k ~ Geom(p = 1/mean)` —
+    /// the memoryless discrete distribution the simulator always had.
+    #[default]
+    Geometric,
+    /// Every task holds exactly `round(mean)` epochs (deterministic
+    /// service, the `M/D/c/c` column of teletraffic tables).
+    Deterministic,
+    /// Continuous exponential duration with the given mean; departures
+    /// land between epoch boundaries and take effect at the next one
+    /// (so the *discrete* occupancy of a task is `ceil` of its draw,
+    /// with mean `1 / (1 - e^(-1/mean))` ≈ `mean + ½` epochs).
+    Exponential,
+}
+
+impl HoldingDistribution {
+    /// Draws one departure offset (in epochs, ≥ 1 effective) for a task
+    /// admitted now. `mean` must satisfy the validated `≥ 1` contract.
+    fn sample<R: Rng>(self, mean: f64, rng: &mut R) -> f64 {
+        debug_assert!(mean.is_finite() && mean >= 1.0);
+        match self {
+            HoldingDistribution::Geometric => (1 + geometric(mean, rng)) as f64,
+            HoldingDistribution::Deterministic => mean.round(),
+            HoldingDistribution::Exponential => {
+                // `1 - u` maps [0, 1) onto (0, 1] so the logarithm is finite.
+                -mean * (1.0 - rng.random_range(0.0..1.0)).ln()
+            }
+        }
+    }
+}
+
+impl fmt::Display for HoldingDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HoldingDistribution::Geometric => "geometric",
+            HoldingDistribution::Deterministic => "deterministic",
+            HoldingDistribution::Exponential => "exponential",
+        })
+    }
+}
+
+/// Error parsing a [`HoldingDistribution`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHoldingError(String);
+
+impl fmt::Display for ParseHoldingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown holding distribution '{}' (expected geometric, det or exp)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseHoldingError {}
+
+impl std::str::FromStr for HoldingDistribution {
+    type Err = ParseHoldingError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "geometric" | "geo" => Ok(HoldingDistribution::Geometric),
+            "det" | "deterministic" | "fixed" => Ok(HoldingDistribution::Deterministic),
+            "exp" | "exponential" => Ok(HoldingDistribution::Exponential),
+            other => Err(ParseHoldingError(other.to_owned())),
+        }
+    }
+}
 
 /// Configuration of an online run.
 #[derive(Debug, Clone)]
@@ -70,14 +173,51 @@ pub struct DynamicConfig {
     /// The static deployment (SPs, BSs, radio, pricing) and the workload
     /// *distributions* (demand ranges); its `n_ues` field is ignored.
     pub scenario: ScenarioConfig,
-    /// Mean number of task arrivals per epoch (Poisson).
+    /// Mean number of task arrivals per epoch (Poisson). Must be finite
+    /// and non-negative.
     pub arrival_rate: f64,
-    /// Mean task duration in epochs (geometric holding time, ≥ 1).
+    /// Mean task duration in epochs. Must be finite and ≥ 1 — the same
+    /// contract [`crate::erlang::TrunkModel::predicted_blocking`] clamps
+    /// to, so analytics and simulation agree at the boundary.
     pub mean_holding: f64,
+    /// Shape of the holding-time distribution (the mean comes from
+    /// [`mean_holding`](DynamicConfig::mean_holding)).
+    pub holding: HoldingDistribution,
     /// Number of epochs to simulate.
     pub epochs: usize,
     /// Seed for arrivals, workloads and holding times.
     pub seed: u64,
+}
+
+impl DynamicConfig {
+    /// Checks the numeric validity of the online-run parameters.
+    ///
+    /// Every engine calls this up front, so a bad configuration fails
+    /// loudly instead of silently clamping (`mean_holding < 1` used to be
+    /// clamped to 1 inside the sampler) or silently producing zero
+    /// arrivals (a negative or NaN rate passed the old `debug_assert!`
+    /// in release builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field when
+    /// `arrival_rate` is negative or non-finite, or `mean_holding` is
+    /// below one epoch or non-finite.
+    pub fn validate(&self) -> Result<()> {
+        if !self.arrival_rate.is_finite() || self.arrival_rate < 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "arrival_rate ({}) must be finite and non-negative",
+                self.arrival_rate
+            )));
+        }
+        if !self.mean_holding.is_finite() || self.mean_holding < 1.0 {
+            return Err(Error::InvalidConfig(format!(
+                "mean_holding ({}) must be finite and at least 1 epoch",
+                self.mean_holding
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Aggregate results of an online run.
@@ -123,14 +263,17 @@ impl DynamicOutcome {
     }
 }
 
-/// A task currently holding resources.
+/// A task currently holding resources (fixed-epoch engines).
 #[derive(Debug, Clone, Copy)]
 struct ActiveTask {
     bs: BsId,
     service: ServiceId,
     cru: Cru,
     rrbs: RrbCount,
-    departs_at: usize,
+    /// Departure time in epochs; resources release at the first epoch
+    /// boundary `t` with `departs_at <= t`. Integral for geometric and
+    /// deterministic holding, fractional for exponential.
+    departs_at: f64,
 }
 
 /// The online simulator.
@@ -169,13 +312,17 @@ impl DynamicSimulator {
     /// epoch patches remaining budgets in place and evaluates only the new
     /// arrival batch (spatially pruned), and the allocator solves through
     /// a reusable session. Bit-identical to
-    /// [`DynamicSimulator::run_scratch`].
+    /// [`DynamicSimulator::run_scratch`] and
+    /// [`DynamicSimulator::run_event`].
     ///
     /// # Errors
     ///
-    /// Propagates scenario/instance build errors (e.g. invalid pricing).
+    /// Returns [`Error::InvalidConfig`] for an invalid [`DynamicConfig`]
+    /// and propagates scenario/instance build errors (e.g. invalid
+    /// pricing).
     pub fn run(&self) -> Result<DynamicOutcome> {
         let cfg = &self.config;
+        cfg.validate()?;
         // The static deployment: build once with zero UEs to get validated
         // SPs/BSs, then treat its BS budgets as the capacity baseline.
         let deployment = cfg
@@ -204,13 +351,13 @@ impl DynamicSimulator {
                 // Draw holding times for *every* arrival up front so the
                 // workload trace is identical across allocators (admission
                 // decisions must not perturb the RNG stream).
-                let holdings: Vec<usize> = (0..n_new)
-                    .map(|_| geometric(cfg.mean_holding, &mut rng))
+                let offsets: Vec<f64> = (0..n_new)
+                    .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
                     .collect();
                 let instance = ctx.epoch_instance(&state.rem_cru, &state.rem_rrb, ues)?;
                 let allocation = session.allocate(instance);
                 debug_assert!(allocation.validate(instance).is_ok());
-                state.commit_epoch(instance, &allocation, &holdings, epoch);
+                state.commit_epoch(instance, &allocation, &offsets, epoch);
             }
             state.finish_epoch();
             if obs_on {
@@ -250,12 +397,103 @@ impl DynamicSimulator {
         Ok(state.outcome)
     }
 
+    /// Runs the simulation with the **event-driven engine**: departures
+    /// live in a binary min-heap keyed on departure time, RRB occupancy
+    /// is a running counter, and an epoch with no arrivals and no due
+    /// departures costs one Poisson draw plus a heap peek — no task scan,
+    /// no per-BS re-summation, no instance build. Bit-identical to
+    /// [`DynamicSimulator::run`] for every [`HoldingDistribution`]
+    /// (`tests/event_engine.rs` pins the full allocator × seed × rate
+    /// grid with telemetry on and off).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSimulator::run`].
+    pub fn run_event(&self) -> Result<DynamicOutcome> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let deployment = cfg
+            .scenario
+            .clone()
+            .with_ues(0)
+            .with_seed(cfg.seed)
+            .build()?;
+        let mut ctx = DeploymentContext::new(&deployment);
+        let mut session = self.allocator.session();
+        let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
+        let mut state = EventState::new(deployment.bss(), cfg.epochs);
+        let obs_on = dmra_obs::enabled();
+
+        for epoch in 0..cfg.epochs {
+            let now = epoch as f64;
+            state.release_due(now);
+            let n_new = poisson(cfg.arrival_rate, &mut rng);
+            state.outcome.arrivals += n_new as u64;
+            if n_new == 0 {
+                // Idle epoch: no arrival event, every due departure is
+                // already drained, so occupancy and the in-service count
+                // are the cached values — this path is O(1).
+                state.record_epoch();
+                if obs_on {
+                    static IDLE: dmra_obs::LazyCounter =
+                        dmra_obs::LazyCounter::new("sim.idle_epochs");
+                    IDLE.get().inc();
+                }
+                continue;
+            }
+            let event_started = obs_on.then(std::time::Instant::now);
+            let admitted_before = state.outcome.admitted;
+            let ues = self.draw_arrivals(n_new, &mut rng);
+            let offsets: Vec<f64> = (0..n_new)
+                .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
+                .collect();
+            let instance = ctx.event_instance(now, &state.rem_cru, &state.rem_rrb, ues)?;
+            let allocation = session.allocate(instance);
+            debug_assert!(allocation.validate(instance).is_ok());
+            state.commit_event(instance, &allocation, &offsets, now);
+            state.record_epoch();
+            if obs_on {
+                // Event-loop telemetry mirroring the epoch engine's
+                // `sim.epochs`/`sim.arrivals`/`sim.epoch_ns`/`sim.epoch`
+                // set, recorded only when an arrival event fires.
+                static EVENTS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.events");
+                static EVENT_ARRIVALS: dmra_obs::LazyCounter =
+                    dmra_obs::LazyCounter::new("sim.event_arrivals");
+                static EVENT_NS: dmra_obs::LazyHistogram =
+                    dmra_obs::LazyHistogram::new("sim.event_ns");
+                EVENTS.get().inc();
+                EVENT_ARRIVALS.get().add(n_new as u64);
+                let event_ns = event_started.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                EVENT_NS.get().record(event_ns);
+                dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                    name: "sim.event",
+                    index: epoch as u64,
+                    fields: vec![
+                        ("time", now),
+                        ("arrivals", n_new as f64),
+                        (
+                            "admitted",
+                            (state.outcome.admitted - admitted_before) as f64,
+                        ),
+                        ("in_service", state.heap.len() as f64),
+                        ("occupancy", state.occupancy),
+                        ("wall_ns", event_ns as f64),
+                    ],
+                });
+            }
+        }
+        Ok(state.outcome)
+    }
+
     /// Runs the simulation with the original **rebuild-from-scratch
     /// engine**: every epoch clones the deployment into a full
     /// [`ProblemInstance::residual`] build with an exhaustive candidate
-    /// scan. Kept as the executable specification the incremental engine
-    /// is tested bit-identical against, and as the benchmark baseline
-    /// (`BENCH_dynamic.json`).
+    /// scan. Kept as the executable specification the incremental and
+    /// event engines are tested bit-identical against, and as the
+    /// benchmark baseline (`BENCH_dynamic.json`,
+    /// `BENCH_dynamic_event.json`).
     ///
     /// # Errors
     ///
@@ -273,6 +511,7 @@ impl DynamicSimulator {
     /// Same as [`DynamicSimulator::run`].
     pub fn run_scratch_with_threads(&self, threads: Threads) -> Result<DynamicOutcome> {
         let cfg = &self.config;
+        cfg.validate()?;
         let deployment = cfg
             .scenario
             .clone()
@@ -288,8 +527,8 @@ impl DynamicSimulator {
             state.outcome.arrivals += n_new as u64;
             if n_new > 0 {
                 let ues = self.draw_arrivals(n_new, &mut rng);
-                let holdings: Vec<usize> = (0..n_new)
-                    .map(|_| geometric(cfg.mean_holding, &mut rng))
+                let offsets: Vec<f64> = (0..n_new)
+                    .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
                     .collect();
                 let instance = deployment.residual_with(
                     &state.rem_cru,
@@ -300,7 +539,7 @@ impl DynamicSimulator {
                 )?;
                 let allocation = self.allocator.allocate(&instance);
                 debug_assert!(allocation.validate(&instance).is_ok());
-                state.commit_epoch(&instance, &allocation, &holdings, epoch);
+                state.commit_epoch(&instance, &allocation, &offsets, epoch);
             }
             state.finish_epoch();
         }
@@ -332,10 +571,11 @@ impl DynamicSimulator {
     }
 }
 
-/// The per-run mutable state shared by both engines: remaining budgets,
-/// tasks in service, and the outcome accumulators. Keeping the epoch
-/// bookkeeping in one place guarantees the engines account identically —
-/// their only difference is how the epoch instance is produced.
+/// The per-run mutable state shared by the two fixed-epoch engines:
+/// remaining budgets, tasks in service, and the outcome accumulators.
+/// Keeping the epoch bookkeeping in one place guarantees the engines
+/// account identically — their only difference is how the epoch instance
+/// is produced.
 struct EngineState {
     rem_cru: Vec<Vec<Cru>>,
     rem_rrb: Vec<RrbCount>,
@@ -351,25 +591,18 @@ impl EngineState {
             rem_rrb: bss.iter().map(|b| b.rrb_budget).collect(),
             total_rrb: bss.iter().map(|b| b.rrb_budget.as_f64()).sum(),
             active: Vec::new(),
-            outcome: DynamicOutcome {
-                arrivals: 0,
-                admitted: 0,
-                cloud_forwarded: 0,
-                completed: 0,
-                total_profit: Money::new(0.0),
-                rrb_occupancy: Vec::with_capacity(epochs),
-                in_service: Vec::with_capacity(epochs),
-            },
+            outcome: empty_outcome(epochs),
         }
     }
 
-    /// Departures at the start of an epoch release their resources.
+    /// Departures due at the start of an epoch release their resources.
     fn release_departures(&mut self, epoch: usize) {
+        let now = epoch as f64;
         let before = self.active.len();
         let rem_cru = &mut self.rem_cru;
         let rem_rrb = &mut self.rem_rrb;
         self.active.retain(|t| {
-            if t.departs_at <= epoch {
+            if t.departs_at <= now {
                 rem_cru[t.bs.as_usize()][t.service.as_usize()] += t.cru;
                 rem_rrb[t.bs.as_usize()] += t.rrbs;
                 false
@@ -386,7 +619,7 @@ impl EngineState {
         &mut self,
         instance: &ProblemInstance,
         allocation: &Allocation,
-        holdings: &[usize],
+        offsets: &[f64],
         epoch: usize,
     ) {
         self.outcome.total_profit += instance.total_profit(allocation);
@@ -400,7 +633,7 @@ impl EngineState {
                 service: spec.service,
                 cru: spec.cru_demand,
                 rrbs: link.n_rrbs,
-                departs_at: epoch + 1 + holdings[ue.as_usize()],
+                departs_at: epoch as f64 + offsets[ue.as_usize()],
             });
             self.outcome.admitted += 1;
         }
@@ -416,6 +649,155 @@ impl EngineState {
             0.0
         });
         self.outcome.in_service.push(self.active.len());
+    }
+}
+
+fn empty_outcome(epochs: usize) -> DynamicOutcome {
+    DynamicOutcome {
+        arrivals: 0,
+        admitted: 0,
+        cloud_forwarded: 0,
+        completed: 0,
+        total_profit: Money::new(0.0),
+        rrb_occupancy: Vec::with_capacity(epochs),
+        in_service: Vec::with_capacity(epochs),
+    }
+}
+
+/// A scheduled departure in the event engine's heap.
+#[derive(Debug, Clone, Copy)]
+struct Departure {
+    /// Departure time in epochs (fractional under exponential holding).
+    time: f64,
+    bs: BsId,
+    service: ServiceId,
+    cru: Cru,
+    rrbs: RrbCount,
+}
+
+// The heap orders departures by time only. Ties release in arbitrary
+// order, which is sound: releases are commutative additions into the
+// remaining-budget arrays, so the drained state never depends on it.
+impl PartialEq for Departure {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time) == Ordering::Equal
+    }
+}
+
+impl Eq for Departure {}
+
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // departure on top.
+        other.time.total_cmp(&self.time)
+    }
+}
+
+/// Mutable state of the event-driven engine: the departure heap plus the
+/// running occupancy counter that replaces the per-epoch re-summation.
+struct EventState {
+    rem_cru: Vec<Vec<Cru>>,
+    rem_rrb: Vec<RrbCount>,
+    total_rrb: f64,
+    /// RRBs currently held across all BSs, updated at admissions and
+    /// departures only. `used as f64 / total_rrb` is bit-identical to the
+    /// epoch engines' `total − Σ remaining` because every quantity is an
+    /// exact small integer in `f64`.
+    used_rrb: u64,
+    /// Cached `used_rrb / total_rrb`, refreshed only when `used_rrb`
+    /// changes — idle epochs re-push this value untouched.
+    occupancy: f64,
+    heap: BinaryHeap<Departure>,
+    outcome: DynamicOutcome,
+}
+
+impl EventState {
+    fn new(bss: &[BsSpec], epochs: usize) -> Self {
+        Self {
+            rem_cru: bss.iter().map(|b| b.cru_budget.clone()).collect(),
+            rem_rrb: bss.iter().map(|b| b.rrb_budget).collect(),
+            total_rrb: bss.iter().map(|b| b.rrb_budget.as_f64()).sum(),
+            used_rrb: 0,
+            occupancy: 0.0,
+            heap: BinaryHeap::new(),
+            outcome: empty_outcome(epochs),
+        }
+    }
+
+    /// Pops every departure due at or before `now` and releases its
+    /// resources. Heap invariant: the top is always the earliest pending
+    /// departure, so the drain stops at the first one still in service.
+    fn release_due(&mut self, now: f64) {
+        let mut changed = false;
+        while let Some(top) = self.heap.peek() {
+            if top.time > now {
+                break;
+            }
+            let d = self.heap.pop().expect("peeked");
+            self.rem_cru[d.bs.as_usize()][d.service.as_usize()] += d.cru;
+            self.rem_rrb[d.bs.as_usize()] += d.rrbs;
+            self.used_rrb -= u64::from(u32::from(d.rrbs));
+            self.outcome.completed += 1;
+            changed = true;
+        }
+        if changed {
+            self.refresh_occupancy();
+        }
+    }
+
+    /// Commits one arrival event's admissions: deduct resources, schedule
+    /// the departures, accumulate profit/admission counters.
+    fn commit_event(
+        &mut self,
+        instance: &ProblemInstance,
+        allocation: &Allocation,
+        offsets: &[f64],
+        now: f64,
+    ) {
+        self.outcome.total_profit += instance.total_profit(allocation);
+        let mut changed = false;
+        for (ue, bs) in allocation.edge_pairs() {
+            let spec = &instance.ues()[ue.as_usize()];
+            let link = instance.link(ue, bs).expect("candidate");
+            self.rem_cru[bs.as_usize()][spec.service.as_usize()] -= spec.cru_demand;
+            self.rem_rrb[bs.as_usize()] -= link.n_rrbs;
+            self.used_rrb += u64::from(u32::from(link.n_rrbs));
+            self.heap.push(Departure {
+                time: now + offsets[ue.as_usize()],
+                bs,
+                service: spec.service,
+                cru: spec.cru_demand,
+                rrbs: link.n_rrbs,
+            });
+            self.outcome.admitted += 1;
+            changed = true;
+        }
+        self.outcome.cloud_forwarded += allocation.cloud_ues().count() as u64;
+        if changed {
+            self.refresh_occupancy();
+        }
+    }
+
+    fn refresh_occupancy(&mut self) {
+        self.occupancy = if self.total_rrb > 0.0 {
+            self.used_rrb as f64 / self.total_rrb
+        } else {
+            0.0
+        };
+    }
+
+    /// Records the end-of-epoch samples from the cached values — O(1),
+    /// no scan over BSs or tasks.
+    fn record_epoch(&mut self) {
+        self.outcome.rrb_occupancy.push(self.occupancy);
+        self.outcome.in_service.push(self.heap.len());
     }
 }
 
@@ -444,20 +826,7 @@ fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
     }
     if lambda <= POISSON_NORMAL_CUTOFF {
         let u = rng.random_range(0.0..1.0);
-        let mut k = 0usize;
-        let mut p = (-lambda).exp(); // P[X = 0]; strictly positive here
-        let mut cdf = p;
-        while u > cdf {
-            k += 1;
-            p *= lambda / k as f64;
-            cdf += p;
-            // Deep in the tail `p` underflows and the CDF stops moving;
-            // the cap (≫ 30σ out) guards against an infinite loop.
-            if k as f64 > 100.0 * lambda + 100.0 {
-                break;
-            }
-        }
-        k
+        poisson_inversion(lambda, u)
     } else {
         // `1 - u` maps [0, 1) onto (0, 1] so the logarithm stays finite.
         let u1 = 1.0 - rng.random_range(0.0..1.0);
@@ -472,19 +841,56 @@ fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
     }
 }
 
+/// CDF inversion for `0 < λ ≤ 64` with the uniform already drawn — split
+/// out so the tail guard is testable with an adversarial `u` no real
+/// generator can produce.
+fn poisson_inversion(lambda: f64, u: f64) -> usize {
+    let mut k = 0usize;
+    let mut p = (-lambda).exp(); // P[X = 0]; strictly positive here
+    let mut cdf = p;
+    while u > cdf {
+        k += 1;
+        p *= lambda / k as f64;
+        cdf += p;
+        // Deep in the tail `p` underflows and the CDF stops moving;
+        // the cap (≫ 30σ out) guards against an infinite loop.
+        if k as f64 > 100.0 * lambda + 100.0 {
+            record_sampler_truncation("poisson CDF tail guard");
+            break;
+        }
+    }
+    k
+}
+
 /// Geometric holding time with the given mean (in epochs, ≥ 0 extra
-/// epochs beyond the first).
+/// epochs beyond the first). `mean` must already satisfy the validated
+/// `≥ 1` contract — the old silent `mean.max(1.0)` clamp is gone.
 fn geometric<R: Rng>(mean: f64, rng: &mut R) -> usize {
-    let mean = mean.max(1.0);
+    debug_assert!(mean >= 1.0, "mean_holding must be validated to >= 1");
     let p = 1.0 / mean;
     let mut k = 0usize;
     while rng.random_range(0.0..1.0) > p {
         k += 1;
         if k > 10_000 {
+            record_sampler_truncation("geometric holding cap");
             break;
         }
     }
     k
+}
+
+/// The "no silent caps" signal: both sampler caps are unreachable under
+/// the validated configuration space at realistic scales, and if one ever
+/// fires the drawn distribution has been clipped — so say so, through the
+/// `sim.sampler_truncations` counter and a warning.
+#[cold]
+fn record_sampler_truncation(which: &str) {
+    if dmra_obs::enabled() {
+        static TRUNCATIONS: dmra_obs::LazyCounter =
+            dmra_obs::LazyCounter::new("sim.sampler_truncations");
+        TRUNCATIONS.get().inc();
+    }
+    obs_warn!("sampler draw truncated: {which}");
 }
 
 #[cfg(test)]
@@ -496,6 +902,7 @@ mod tests {
             scenario: ScenarioConfig::paper_defaults(),
             arrival_rate: rate,
             mean_holding: 4.0,
+            holding: HoldingDistribution::Geometric,
             epochs: 40,
             seed,
         }
@@ -551,6 +958,7 @@ mod tests {
             scenario: ScenarioConfig::paper_defaults(),
             arrival_rate: 0.0,
             mean_holding: 2.0,
+            holding: HoldingDistribution::Geometric,
             epochs: 10,
             seed: 5,
         };
@@ -610,6 +1018,144 @@ mod tests {
     }
 
     #[test]
+    fn event_engine_agrees_with_both_epoch_engines() {
+        // The workspace-root `event_engine` tests sweep the full grid;
+        // this is the in-crate smoke version.
+        let sim = DynamicSimulator::new(base_config(25.0, 2));
+        let event = sim.run_event().unwrap();
+        assert_eq!(event, sim.run().unwrap());
+        assert_eq!(event, sim.run_scratch().unwrap());
+    }
+
+    #[test]
+    fn event_engine_matches_for_every_holding_distribution() {
+        for dist in [
+            HoldingDistribution::Geometric,
+            HoldingDistribution::Deterministic,
+            HoldingDistribution::Exponential,
+        ] {
+            let mut cfg = base_config(30.0, 17);
+            cfg.holding = dist;
+            let sim = DynamicSimulator::new(cfg);
+            assert_eq!(
+                sim.run_event().unwrap(),
+                sim.run().unwrap(),
+                "{dist} holding diverged between event and incremental engines"
+            );
+        }
+    }
+
+    #[test]
+    fn event_engine_zero_rate_never_builds_an_instance() {
+        let mut cfg = base_config(0.0, 5);
+        cfg.epochs = 1000;
+        let out = DynamicSimulator::new(cfg).run_event().unwrap();
+        assert_eq!(out.arrivals, 0);
+        assert_eq!(out.rrb_occupancy.len(), 1000);
+        assert!(out.rrb_occupancy.iter().all(|&o| o == 0.0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_by_every_engine() {
+        let bad_rates = [f64::NAN, f64::INFINITY, -1.0];
+        for rate in bad_rates {
+            let cfg = base_config(rate, 1);
+            let sim = DynamicSimulator::new(cfg);
+            for out in [sim.run(), sim.run_event(), sim.run_scratch()] {
+                let err = out.unwrap_err();
+                assert!(
+                    matches!(&err, Error::InvalidConfig(m) if m.contains("arrival_rate")),
+                    "rate {rate}: unexpected error {err}"
+                );
+            }
+        }
+        for mean in [f64::NAN, 0.5, 0.0, -3.0] {
+            let mut cfg = base_config(10.0, 1);
+            cfg.mean_holding = mean;
+            let sim = DynamicSimulator::new(cfg);
+            for out in [sim.run(), sim.run_event(), sim.run_scratch()] {
+                let err = out.unwrap_err();
+                assert!(
+                    matches!(&err, Error::InvalidConfig(m) if m.contains("mean_holding")),
+                    "mean {mean}: unexpected error {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holding_distribution_parses_and_displays() {
+        for (raw, want) in [
+            ("geometric", HoldingDistribution::Geometric),
+            ("geo", HoldingDistribution::Geometric),
+            ("det", HoldingDistribution::Deterministic),
+            ("deterministic", HoldingDistribution::Deterministic),
+            ("fixed", HoldingDistribution::Deterministic),
+            ("exp", HoldingDistribution::Exponential),
+            ("exponential", HoldingDistribution::Exponential),
+        ] {
+            assert_eq!(raw.parse::<HoldingDistribution>().unwrap(), want);
+        }
+        let err = "weibull".parse::<HoldingDistribution>().unwrap_err();
+        assert!(err.to_string().contains("weibull"));
+        assert_eq!(HoldingDistribution::Exponential.to_string(), "exponential");
+    }
+
+    #[test]
+    fn holding_samples_match_their_moments() {
+        // n = 100k draws per variant; check mean and variance against the
+        // analytic values. Durations: geometric 1 + Geom0(1/m) has mean m
+        // and variance m(m−1); deterministic is constant round(m);
+        // exponential has mean m and variance m².
+        let n = 100_000usize;
+        let draw = |dist: HoldingDistribution, mean: f64| -> Vec<f64> {
+            let mut rng = component_rng(99, "holding-dist");
+            (0..n).map(|_| dist.sample(mean, &mut rng)).collect()
+        };
+        let moments = |xs: &[f64]| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var =
+                xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+            (mean, var)
+        };
+
+        let (m, v) = moments(&draw(HoldingDistribution::Geometric, 6.0));
+        // σ of the sample mean: √(30/100k) ≈ 0.017; allow 6σ.
+        assert!((m - 6.0).abs() < 0.11, "geometric mean {m}");
+        assert!((v / 30.0 - 1.0).abs() < 0.1, "geometric variance {v}");
+
+        let samples = draw(HoldingDistribution::Deterministic, 4.0);
+        assert!(samples.iter().all(|&d| d == 4.0), "deterministic varies");
+        // Non-integer means round to the nearest whole number of epochs.
+        assert_eq!(
+            HoldingDistribution::Deterministic.sample(4.4, &mut component_rng(1, "det-round")),
+            4.0
+        );
+
+        let (m, v) = moments(&draw(HoldingDistribution::Exponential, 5.0));
+        assert!((m - 5.0).abs() < 0.1, "exponential mean {m}");
+        assert!((v / 25.0 - 1.0).abs() < 0.1, "exponential variance {v}");
+    }
+
+    #[test]
+    fn holding_samples_are_deterministic_per_seed() {
+        for dist in [
+            HoldingDistribution::Geometric,
+            HoldingDistribution::Deterministic,
+            HoldingDistribution::Exponential,
+        ] {
+            let draw = |seed: u64| -> Vec<f64> {
+                let mut rng = component_rng(seed, "holding-det");
+                (0..1000).map(|_| dist.sample(5.0, &mut rng)).collect()
+            };
+            assert_eq!(draw(7), draw(7), "{dist} not reproducible");
+            if dist != HoldingDistribution::Deterministic {
+                assert_ne!(draw(7), draw(8), "{dist} ignores the seed");
+            }
+        }
+    }
+
+    #[test]
     fn poisson_is_deterministic() {
         for &lambda in &[0.7, 12.0, 64.0, 300.0, 900.0] {
             let mut a = component_rng(17, "poisson-det");
@@ -652,6 +1198,26 @@ mod tests {
     }
 
     #[test]
+    fn poisson_is_continuous_across_the_normal_cutoff() {
+        // λ = 63 inverts the CDF, λ = 65 uses the normal approximation;
+        // both branch means must track λ so the switch at 64 introduces
+        // no step in the arrival process. 6σ of a 100k-draw mean is
+        // ≈ 0.15; the approximation's own bias is far smaller.
+        for &lambda in &[63.0, 65.0] {
+            let mut rng = component_rng(29, "poisson-cutoff");
+            let n = 100_000usize;
+            let mean = (0..n)
+                .map(|_| poisson(lambda, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.2,
+                "λ = {lambda}: mean {mean} drifted across the cutoff"
+            );
+        }
+    }
+
+    #[test]
     fn poisson_handles_huge_rates_without_garbage() {
         // The old sampler returned ≈ 1074 for *every* λ ≳ 745; the fixed
         // one must track the mean at any scale.
@@ -664,5 +1230,29 @@ mod tests {
                 "draw {k} too far from λ = {lambda}"
             );
         }
+    }
+
+    #[test]
+    fn sampler_truncations_are_counted_not_silent() {
+        // Both caps increment `sim.sampler_truncations` when they fire.
+        dmra_obs::set_enabled(true);
+        let counter = dmra_obs::global().counter("sim.sampler_truncations");
+        let before = counter.get();
+
+        // The geometric cap: a mean so large that survival past 10 000
+        // epochs is near-certain (p = 1e-12 per epoch).
+        let mut rng = component_rng(3, "trunc-geo");
+        let k = geometric(1e12, &mut rng);
+        assert_eq!(k, 10_001, "cap should clip the draw at 10 001");
+        assert!(counter.get() > before, "geometric cap fired silently");
+
+        // The Poisson tail guard: an adversarial u beyond any achievable
+        // CDF models the pathological stall the guard defends against
+        // (no 53-bit uniform can reach it, so we inject it directly).
+        let mid = counter.get();
+        let k = poisson_inversion(8.0, 1.5);
+        assert!(k as f64 > 100.0 * 8.0, "guard should run out the cap");
+        assert!(counter.get() > mid, "poisson tail guard fired silently");
+        dmra_obs::set_enabled(false);
     }
 }

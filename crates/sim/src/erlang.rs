@@ -120,16 +120,23 @@ impl TrunkModel {
 
     /// Predicted blocking for Poisson arrivals at `rate` per epoch and a
     /// mean holding time of `mean_holding` epochs.
+    ///
+    /// Clamps the holding mean to the simulator's validated `≥ 1 epoch`
+    /// contract ([`crate::dynamic::DynamicConfig::validate`]): every
+    /// admitted task occupies its resources for at least one full epoch,
+    /// so offered load can never fall below `rate` erlangs. (The old
+    /// `max(0.0)` clamp let the prediction drop below what any simulation
+    /// could realize at the `mean_holding ≤ 1` boundary.)
     #[must_use]
     pub fn predicted_blocking(&self, rate: f64, mean_holding: f64) -> f64 {
-        erlang_b(self.servers, rate * mean_holding.max(0.0))
+        erlang_b(self.servers, rate * mean_holding.max(1.0))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dynamic::{DynamicConfig, DynamicSimulator};
+    use crate::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 
     #[test]
     fn erlang_b_matches_table_values() {
@@ -186,10 +193,93 @@ mod tests {
                 scenario: scenario.clone(),
                 arrival_rate: rate,
                 mean_holding: 5.0,
+                holding: HoldingDistribution::Geometric,
                 epochs: 120,
                 seed: 11,
             })
             .run()
+            .unwrap();
+            let simulated = 1.0 - sim.admission_ratio();
+            assert!(
+                (predicted - simulated).abs() < 0.10,
+                "rate {rate}: predicted {predicted:.3} vs simulated {simulated:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn holding_boundary_matches_the_simulator_contract() {
+        // Regression for the `mean_holding ≤ 1` boundary: the simulator
+        // validates holding means to ≥ 1 epoch and the prediction clamps
+        // the same way, so sub-epoch inputs predict exactly the 1-epoch
+        // load instead of an unreachable lighter one.
+        let model = TrunkModel {
+            servers: 100,
+            mean_rrbs_per_task: 1.0,
+        };
+        let rate = 120.0;
+        assert_eq!(
+            model.predicted_blocking(rate, 0.5),
+            model.predicted_blocking(rate, 1.0)
+        );
+        assert_eq!(
+            model.predicted_blocking(rate, 0.0),
+            model.predicted_blocking(rate, 1.0)
+        );
+        // The old `max(0.0)` clamp predicted materially less blocking at
+        // 0.5 epochs — a load no simulation run can produce.
+        assert!(erlang_b(model.servers, rate * 0.5) < model.predicted_blocking(rate, 0.5));
+    }
+
+    #[test]
+    fn blocking_prediction_matches_simulation_at_the_one_epoch_boundary() {
+        // mean_holding = 1.0 is the smallest validated value: every task
+        // holds exactly one epoch under geometric holding (p = 1 ⇒ no
+        // extra epochs), so offered load is exactly `rate` erlangs.
+        let scenario = ScenarioConfig::paper_defaults();
+        let model = TrunkModel::estimate(&scenario, 400, 3).unwrap();
+        for rate in [900.0, 1400.0] {
+            let predicted = model.predicted_blocking(rate, 1.0);
+            let sim = DynamicSimulator::new(DynamicConfig {
+                scenario: scenario.clone(),
+                arrival_rate: rate,
+                mean_holding: 1.0,
+                holding: HoldingDistribution::Geometric,
+                epochs: 60,
+                seed: 13,
+            })
+            .run_event()
+            .unwrap();
+            let simulated = 1.0 - sim.admission_ratio();
+            assert!(
+                (predicted - simulated).abs() < 0.10,
+                "rate {rate}: predicted {predicted:.3} vs simulated {simulated:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_prediction_holds_under_exponential_holding() {
+        // Erlang-B is insensitive to the service distribution given its
+        // mean — but the *discrete* occupancy of a continuous Exp(mean)
+        // holding time is ceil(h), whose mean is 1/(1 − e^(−1/mean))
+        // (≈ mean + ½). Compare the simulation against the prediction at
+        // that effective mean (DESIGN.md §11 derives the correction).
+        let scenario = ScenarioConfig::paper_defaults();
+        let model = TrunkModel::estimate(&scenario, 400, 3).unwrap();
+        let mean = 5.0f64;
+        let effective = 1.0 / (1.0 - (-1.0 / mean).exp());
+        for rate in [250.0, 350.0] {
+            let predicted = model.predicted_blocking(rate, effective);
+            let sim = DynamicSimulator::new(DynamicConfig {
+                scenario: scenario.clone(),
+                arrival_rate: rate,
+                mean_holding: mean,
+                holding: HoldingDistribution::Exponential,
+                epochs: 120,
+                seed: 17,
+            })
+            .run_event()
             .unwrap();
             let simulated = 1.0 - sim.admission_ratio();
             assert!(

@@ -17,7 +17,7 @@
 //! ordering of algorithms, saturation with #UEs, monotonicity in ρ.
 
 use crate::config::ScenarioConfig;
-use crate::dynamic::{DynamicConfig, DynamicSimulator};
+use crate::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use crate::metrics::Metrics;
 use crate::sweep::{Stat, SweepRunner, Table, TableRow};
 use dmra_baselines::{Dcsp, NonCo};
@@ -372,6 +372,7 @@ pub fn online_comparison(opts: &ExperimentOptions) -> Result<Table> {
                         scenario: ScenarioConfig::paper_defaults(),
                         arrival_rate: rate,
                         mean_holding: 5.0,
+                        holding: HoldingDistribution::Geometric,
                         epochs: 60,
                         seed,
                     },

@@ -13,7 +13,7 @@
 //! ```
 
 use dmra::prelude::*;
-use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 
 fn main() -> Result<(), dmra::types::Error> {
     println!("admission ratio by deployment size × offered load");
@@ -46,10 +46,11 @@ fn main() -> Result<(), dmra::types::Error> {
                     scenario,
                     arrival_rate: rate,
                     mean_holding: 5.0,
+                    holding: HoldingDistribution::Geometric,
                     epochs: 80,
                     seed: 900 + seed,
                 })
-                .run()?;
+                .run_event()?;
                 ratio_sum += out.admission_ratio();
             }
             print!("  {:>10.1}%", 100.0 * ratio_sum / 3.0);

@@ -1,13 +1,14 @@
 //! Workspace-level tests of the online (arrival/departure) regime.
 
 use dmra::prelude::*;
-use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 
 fn config(rate: f64, epochs: usize, seed: u64) -> DynamicConfig {
     DynamicConfig {
         scenario: ScenarioConfig::paper_defaults(),
         arrival_rate: rate,
         mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
         epochs,
         seed,
     }

@@ -1,0 +1,141 @@
+//! The event-driven dynamic engine is bit-identical to the epoch loops.
+//!
+//! `DynamicSimulator::run_event` replaces the per-epoch task scan with a
+//! departure heap and skips idle epochs entirely, but it consumes the
+//! same RNG stream and performs the same f64 arithmetic as the
+//! fixed-epoch engines (DESIGN.md §11 gives the argument). These tests
+//! pin the equality — identical `DynamicOutcome`s, byte for byte —
+//! across allocators, seeds, arrival rates, holding distributions and
+//! telemetry states, which is the acceptance bar the engine must clear
+//! before any benchmark number counts.
+
+use dmra_core::{Allocator, Dmra};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
+use dmra_sim::ScenarioConfig;
+
+fn config(rate: f64, seed: u64, epochs: usize) -> DynamicConfig {
+    DynamicConfig {
+        scenario: ScenarioConfig::paper_defaults(),
+        arrival_rate: rate,
+        mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
+        epochs,
+        seed,
+    }
+}
+
+type Factory = fn() -> Box<dyn Allocator>;
+
+fn allocator_grid() -> Vec<(&'static str, Factory)> {
+    vec![
+        ("DMRA", || Box::new(Dmra::default())),
+        ("NonCo", || Box::new(dmra_baselines::NonCo::default())),
+        ("GreedyProfit", || {
+            Box::new(dmra_baselines::GreedyProfit::default())
+        }),
+    ]
+}
+
+#[test]
+fn event_engine_matches_epoch_engines_across_the_grid() {
+    // The ISSUE acceptance grid: every allocator × ≥2 seeds × ≥2 rates
+    // under geometric holding, compared against both epoch engines.
+    for (name, factory) in allocator_grid() {
+        for &(rate, seed) in &[(25.0, 3u64), (140.0, 8)] {
+            let sim = DynamicSimulator::with_allocator(config(rate, seed, 30), factory());
+            let event = sim.run_event().unwrap();
+            assert_eq!(
+                event,
+                sim.run().unwrap(),
+                "{name} event/incremental diverged at rate {rate}, seed {seed}"
+            );
+            assert_eq!(
+                event,
+                sim.run_scratch().unwrap(),
+                "{name} event/scratch diverged at rate {rate}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_engine_equality_is_unaffected_by_telemetry() {
+    // The same grid with the global telemetry flag on, then off again —
+    // sequentially inside one test, since the flag is process-global to
+    // this binary. Instrumentation must be observe-only in both engines.
+    dmra_obs::set_enabled(true);
+    for (name, factory) in allocator_grid() {
+        for &(rate, seed) in &[(25.0, 3u64), (140.0, 8)] {
+            let sim = DynamicSimulator::with_allocator(config(rate, seed, 20), factory());
+            assert_eq!(
+                sim.run_event().unwrap(),
+                sim.run().unwrap(),
+                "{name} diverged with telemetry on at rate {rate}, seed {seed}"
+            );
+        }
+    }
+    dmra_obs::set_enabled(false);
+    let sim = DynamicSimulator::new(config(25.0, 3, 20));
+    assert_eq!(
+        sim.run_event().unwrap(),
+        sim.run().unwrap(),
+        "diverged after telemetry was switched off again"
+    );
+}
+
+#[test]
+fn event_engine_matches_under_every_holding_distribution() {
+    for dist in [
+        HoldingDistribution::Geometric,
+        HoldingDistribution::Deterministic,
+        HoldingDistribution::Exponential,
+    ] {
+        for &(rate, seed) in &[(20.0, 5u64), (120.0, 12)] {
+            let mut cfg = config(rate, seed, 25);
+            cfg.holding = dist;
+            let sim = DynamicSimulator::new(cfg);
+            let event = sim.run_event().unwrap();
+            assert_eq!(
+                event,
+                sim.run().unwrap(),
+                "{dist} diverged at rate {rate}, seed {seed}"
+            );
+            assert_eq!(
+                event,
+                sim.run_scratch().unwrap(),
+                "{dist} scratch diverged at rate {rate}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_on_a_low_load_long_horizon() {
+    // The regime the engine exists for: rate ≤ 2 over 10k epochs leaves
+    // most epochs idle. Outcomes must still match the epoch loop exactly
+    // (the wall-clock claim lives in BENCH_dynamic_event.json).
+    let sim = DynamicSimulator::new(config(0.5, 7, 10_000));
+    let event = sim.run_event().unwrap();
+    let incremental = sim.run().unwrap();
+    assert_eq!(event, incremental, "low-load long-horizon runs diverged");
+    assert_eq!(event.rrb_occupancy.len(), 10_000);
+    // Sanity: the workload really is sparse — far fewer arrival events
+    // than epochs, so the O(events) claim has teeth.
+    assert!(
+        event.arrivals < 6_000,
+        "expected a sparse trace, got {} arrivals",
+        event.arrivals
+    );
+}
+
+#[test]
+fn event_engine_conserves_tasks() {
+    for &(rate, seed) in &[(2.0, 1u64), (60.0, 2)] {
+        let out = DynamicSimulator::new(config(rate, seed, 200))
+            .run_event()
+            .unwrap();
+        assert_eq!(out.arrivals, out.admitted + out.cloud_forwarded);
+        let in_service_end = *out.in_service.last().unwrap() as u64;
+        assert_eq!(out.admitted, out.completed + in_service_end);
+    }
+}

@@ -10,7 +10,7 @@
 
 use dmra_core::{Allocator, CandidateScan, CoverageModel, Dmra, ProblemInstance, Threads};
 use dmra_radio::InterferenceModel;
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra_sim::ScenarioConfig;
 use dmra_types::{BitsPerSec, BsId, UeId};
 
@@ -19,6 +19,7 @@ fn config(rate: f64, seed: u64, epochs: usize) -> DynamicConfig {
         scenario: ScenarioConfig::paper_defaults(),
         arrival_rate: rate,
         mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
         epochs,
         seed,
     }

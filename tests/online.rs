@@ -2,7 +2,7 @@
 //! static matcher and the Erlang-B analytics.
 
 use dmra::prelude::*;
-use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator};
+use dmra::sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra::sim::erlang::{erlang_b, TrunkModel};
 use dmra::sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
 
@@ -13,6 +13,7 @@ fn online_dmra_beats_online_nonco_on_identical_traces() {
             scenario: ScenarioConfig::paper_defaults(),
             arrival_rate: rate,
             mean_holding: 5.0,
+            holding: HoldingDistribution::Geometric,
             epochs: 50,
             seed: 41,
         };
@@ -96,6 +97,7 @@ fn dynamic_and_static_profit_rates_are_consistent() {
         scenario: ScenarioConfig::paper_defaults(),
         arrival_rate: 20.0,
         mean_holding: 4.0,
+        holding: HoldingDistribution::Geometric,
         epochs: 50,
         seed: 4,
     })
