@@ -1,0 +1,126 @@
+//! Wall-clock performance of the batched link-evaluation kernel and the
+//! cross-epoch candidate-row cache.
+//!
+//! Three groups:
+//!
+//! * `linkbatch/kernel` — the raw SoA kernel (`LinkEvaluator::evaluate_batch`,
+//!   exact and approx modes) against the scalar `evaluate_at_distance`
+//!   loop on identical lane sets;
+//! * `linkbatch/build` — a 2000-UE instance build through the pruned +
+//!   batched scan vs the exhaustive scalar scan;
+//! * `linkbatch/mobility` — the sticky mostly-stationary mobility loop on
+//!   the row-cached incremental engine vs the full-rebuild scratch loop.
+//!
+//! The gated paper-scale numbers live in `BENCH_linkbatch.json`
+//! (`figures -- bench_linkbatch`); this bench is for profiling iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmra_core::{CandidateScan, ProblemInstance, Threads};
+use dmra_radio::{BatchMode, LinkBatch, LinkEvaluator, RadioConfig};
+use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
+use dmra_sim::ScenarioConfig;
+use dmra_types::{Dbm, Meters, Point};
+use std::hint::black_box;
+
+fn bench_kernel(c: &mut Criterion) {
+    let config = RadioConfig::paper_defaults();
+    let exact = LinkEvaluator::new(config).with_batch_mode(BatchMode::Exact);
+    let approx = LinkEvaluator::new(config).with_batch_mode(BatchMode::Approx);
+    let ue = Point::new(1500.0, 1500.0);
+    let tx = Dbm::new(10.0);
+    // A lane per BS of a 16x16 grid — far more candidates than any pruned
+    // row sees, so per-lane costs dominate the fixed batch overhead.
+    let lanes: Vec<(Point, Meters)> = (0..256)
+        .map(|i| {
+            let bs = Point::new(200.0 * (i % 16) as f64, 200.0 * (i / 16) as f64);
+            (bs, ue.distance(bs))
+        })
+        .collect();
+    let mut group = c.benchmark_group("linkbatch/kernel");
+    group.bench_function(BenchmarkId::new("scalar", lanes.len()), |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(bs, d) in &lanes {
+                let m = exact.evaluate_at_distance(tx, ue, bs, d, 0.0);
+                acc += m.per_rrb_rate.get();
+            }
+            black_box(acc)
+        })
+    });
+    let mut batch = LinkBatch::new();
+    let mut run_batch = |evaluator: &LinkEvaluator| {
+        batch.clear();
+        for (j, &(bs, d)) in lanes.iter().enumerate() {
+            batch.push(j as u32, bs, d, 0.0);
+        }
+        evaluator.evaluate_batch(tx, ue, 0.0, &mut batch);
+        let mut acc = 0.0f64;
+        for j in 0..batch.len() {
+            acc += batch.metrics(j).per_rrb_rate.get();
+        }
+        acc
+    };
+    group.bench_function(BenchmarkId::new("batch_exact", lanes.len()), |b| {
+        b.iter(|| black_box(run_batch(&exact)))
+    });
+    group.bench_function(BenchmarkId::new("batch_approx", lanes.len()), |b| {
+        b.iter(|| black_box(run_batch(&approx)))
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let base = dmra_bench::bench_instance(2000, 7);
+    let rebuild = |scan: CandidateScan| {
+        ProblemInstance::build_with_scan(
+            base.sps().to_vec(),
+            base.bss().to_vec(),
+            base.ues().to_vec(),
+            base.catalog(),
+            *base.pricing(),
+            *base.radio(),
+            base.coverage(),
+            Threads::Auto,
+            scan,
+        )
+        .expect("bench instance rebuilds")
+    };
+    let mut group = c.benchmark_group("linkbatch/build");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("scalar_exhaustive", 2000u64), |b| {
+        b.iter(|| black_box(rebuild(CandidateScan::Exhaustive)))
+    });
+    group.bench_function(BenchmarkId::new("batched_pruned", 2000u64), |b| {
+        b.iter(|| black_box(rebuild(CandidateScan::Auto)))
+    });
+    group.finish();
+}
+
+fn bench_mobility_cache(c: &mut Criterion) {
+    let sim = MobilitySimulator::new(MobilityConfig {
+        scenario: ScenarioConfig::paper_defaults().with_ues(600),
+        speed_mps: (5.0, 10.0),
+        epoch_seconds: 10.0,
+        epochs: 10,
+        seed: 11,
+        policy: MobilityPolicy::Sticky,
+        stationary_fraction: 0.8,
+    });
+    assert_eq!(
+        sim.run().expect("incremental engine runs"),
+        sim.run_scratch().expect("scratch engine runs"),
+        "mobility engines diverged"
+    );
+    let mut group = c.benchmark_group("linkbatch/mobility");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("incremental_cached", 600u64), |b| {
+        b.iter(|| black_box(sim.run().unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("scratch", 600u64), |b| {
+        b.iter(|| black_box(sim.run_scratch().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_build, bench_mobility_cache);
+criterion_main!(benches);

@@ -82,6 +82,10 @@ fn main() {
             bench_event_mode();
             continue;
         }
+        if job == "bench_linkbatch" {
+            bench_linkbatch_mode();
+            continue;
+        }
         if job == "obs_overhead" {
             obs_overhead_mode();
             continue;
@@ -251,6 +255,40 @@ fn per_phase_breakdown() {
         "per-phase breakdown (dynamic, rate 120, 100 epochs):\n{}",
         dmra_obs::global().snapshot().render_table()
     );
+
+    // A second instrumented pass through the mobility loop, whose
+    // epoch-persistent context carries the cross-epoch row cache — the
+    // report table picks up the online.row_cache_* counters and the
+    // batch-kernel histogram.
+    use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
+    dmra_obs::global().reset();
+    dmra_obs::global_trace().clear();
+    dmra_obs::set_enabled(true);
+    MobilitySimulator::new(MobilityConfig {
+        scenario: ScenarioConfig::paper_defaults().with_ues(600),
+        speed_mps: (5.0, 10.0),
+        epoch_seconds: 10.0,
+        epochs: 30,
+        seed: 11,
+        policy: MobilityPolicy::Sticky,
+        stationary_fraction: 0.8,
+    })
+    .run()
+    .expect("instrumented mobility run");
+    dmra_obs::set_enabled(false);
+    let snapshot = dmra_obs::global().snapshot();
+    let hits = snapshot.counter("online.row_cache_hits").unwrap_or(0);
+    let misses = snapshot.counter("online.row_cache_misses").unwrap_or(0);
+    let hit_rate = if hits + misses > 0 {
+        100.0 * hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "mobility breakdown (sticky, 600 UEs, 80% stationary, 30 epochs; \
+         row-cache hit rate {hit_rate:.1}%):\n{}",
+        snapshot.render_table()
+    );
 }
 
 /// Times the incremental online engine against the scratch rebuild loop
@@ -405,6 +443,155 @@ fn bench_event_mode() {
     obs_info!("wrote BENCH_dynamic_event.json");
     if !all_gates_pass {
         obs_error!("event engine speedup fell below the {min_speedup}x bound");
+        std::process::exit(1);
+    }
+}
+
+/// Times the batched link-evaluation kernel and the cross-epoch
+/// candidate-row cache against the scalar/scratch baselines and writes
+/// `BENCH_linkbatch.json`.
+///
+/// Two gated comparisons, both requiring bit-identical outcomes before
+/// any timing is trusted:
+///
+/// 1. **2000-UE instance build** — the pruned + batched candidate scan
+///    vs the exhaustive scalar scan, same thread knob on both sides.
+/// 2. **Mobility sticky-population loop** — the incremental engine
+///    (epoch-persistent context, row cache, batch kernel) vs the
+///    full-rebuild scratch loop, after asserting that DMRA, NonCo and
+///    GreedyProfit all produce identical `MobilityOutcome`s on the two
+///    engines.
+///
+/// Each speedup must reach `DMRA_LINKBATCH_SPEEDUP_MIN` (default 1.5);
+/// the process exits 1 otherwise, so `scripts/bench.sh` doubles as a
+/// perf-regression check. The run ends with an instrumented mobility
+/// pass that reports the row-cache hit rate from the
+/// `online.row_cache_hits/misses` counters.
+fn bench_linkbatch_mode() {
+    use dmra_baselines::GreedyProfit;
+    use dmra_core::{CandidateScan, ProblemInstance};
+    use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
+
+    let min_speedup: f64 = std::env::var("DMRA_LINKBATCH_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let mut all_gates_pass = true;
+
+    // -- Gate 1: 2000-UE instance build, batched vs scalar scan. --
+    let base = bench_instance(2000, 7);
+    let rebuild = |scan: CandidateScan| -> ProblemInstance {
+        ProblemInstance::build_with_scan(
+            base.sps().to_vec(),
+            base.bss().to_vec(),
+            base.ues().to_vec(),
+            base.catalog(),
+            *base.pricing(),
+            *base.radio(),
+            base.coverage(),
+            Threads::Auto,
+            scan,
+        )
+        .expect("bench instance rebuilds")
+    };
+    let batched = rebuild(CandidateScan::Auto);
+    let scalar = rebuild(CandidateScan::Exhaustive);
+    let identical_build = (0..batched.n_ues()).all(|u| {
+        let ue = dmra_types::UeId::new(u as u32);
+        batched.candidates(ue) == scalar.candidates(ue)
+    });
+    assert!(
+        identical_build,
+        "batched candidate rows diverged from the exhaustive scalar scan"
+    );
+    let scalar_secs = best_of(3, || rebuild(CandidateScan::Exhaustive));
+    let batched_secs = best_of(3, || rebuild(CandidateScan::Auto));
+    let build_speedup = scalar_secs / batched_secs;
+    let build_pass = build_speedup >= min_speedup;
+    all_gates_pass &= build_pass;
+    obs_info!(
+        "build 2000 UEs: scalar exhaustive {scalar_secs:.4} s, batched pruned \
+         {batched_secs:.4} s ({build_speedup:.1}x, identical rows)"
+    );
+
+    // -- Gate 2: mobility loop on a sticky, mostly-stationary population. --
+    let mobility_config = MobilityConfig {
+        scenario: ScenarioConfig::paper_defaults().with_ues(2000).with_seed(7),
+        speed_mps: (5.0, 10.0),
+        epoch_seconds: 10.0,
+        epochs: 20,
+        seed: 11,
+        policy: MobilityPolicy::Sticky,
+        stationary_fraction: 0.9,
+    };
+    type Factory = fn() -> Box<dyn Allocator>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("DMRA", || Box::new(Dmra::default())),
+        ("NonCo", || Box::new(NonCo::default())),
+        ("GreedyProfit", || Box::new(GreedyProfit::default())),
+    ];
+    for (name, factory) in &factories {
+        let sim = MobilitySimulator::new(mobility_config.clone()).with_allocator(factory());
+        let (incremental_out, _) = timed(|| sim.run().expect("incremental mobility runs"));
+        let (scratch_out, _) = timed(|| sim.run_scratch().expect("scratch mobility runs"));
+        assert_eq!(
+            incremental_out, scratch_out,
+            "{name}: incremental mobility engine diverged from scratch"
+        );
+    }
+    obs_info!("mobility outcomes identical across engines for DMRA, NonCo, GreedyProfit");
+    let sim = MobilitySimulator::new(mobility_config.clone());
+    let scratch_mob_secs = best_of(3, || sim.run_scratch().expect("scratch mobility runs"));
+    let incremental_mob_secs = best_of(3, || sim.run().expect("incremental mobility runs"));
+    let mobility_speedup = scratch_mob_secs / incremental_mob_secs;
+    let mobility_pass = mobility_speedup >= min_speedup;
+    all_gates_pass &= mobility_pass;
+    obs_info!(
+        "mobility sticky 2000 UEs, 20 epochs, 90% stationary: scratch \
+         {scratch_mob_secs:.4} s, incremental {incremental_mob_secs:.4} s \
+         ({mobility_speedup:.1}x, identical outcomes)"
+    );
+
+    // -- Row-cache hit rate from the telemetry counters. --
+    dmra_obs::global().reset();
+    dmra_obs::global_trace().clear();
+    dmra_obs::set_enabled(true);
+    sim.run().expect("instrumented mobility runs");
+    dmra_obs::set_enabled(false);
+    let snapshot = dmra_obs::global().snapshot();
+    let hits = snapshot.counter("online.row_cache_hits").unwrap_or(0);
+    let misses = snapshot.counter("online.row_cache_misses").unwrap_or(0);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    obs_info!(
+        "row cache: {hits} hits, {misses} misses ({:.1}% hit rate)",
+        hit_rate * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"title\": \"batched link kernel + cross-epoch row cache vs \
+         scalar/scratch baselines (paper deployment, 2000 UEs)\",\n  \
+         \"min_speedup\": {min_speedup},\n  \"instance_build\": {{\n    \
+         \"n_ues\": 2000, \"scalar_secs\": {scalar_secs:.4}, \
+         \"batched_secs\": {batched_secs:.4}, \"speedup\": {build_speedup:.2}, \
+         \"gate_pass\": {build_pass}, \"identical_rows\": true\n  }},\n  \
+         \"mobility\": {{\n    \"n_ues\": 2000, \"epochs\": 20, \
+         \"policy\": \"sticky\", \"stationary_fraction\": 0.9, \
+         \"scratch_secs\": {scratch_mob_secs:.4}, \
+         \"incremental_secs\": {incremental_mob_secs:.4}, \
+         \"speedup\": {mobility_speedup:.2}, \"gate_pass\": {mobility_pass}, \
+         \"identical_outcome\": true, \
+         \"allocators_verified\": [\"DMRA\", \"NonCo\", \"GreedyProfit\"],\n    \
+         \"row_cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \
+         \"hit_rate\": {hit_rate:.4} }}\n  }}\n}}\n"
+    );
+    fs::write("BENCH_linkbatch.json", &json).expect("can write BENCH_linkbatch.json");
+    obs_info!("wrote BENCH_linkbatch.json");
+    if !all_gates_pass {
+        obs_error!("link-batch speedup fell below the {min_speedup}x bound");
         std::process::exit(1);
     }
 }

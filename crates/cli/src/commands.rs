@@ -4,7 +4,7 @@
 use crate::args::{ArgError, ParsedArgs};
 use dmra_baselines::{CloudOnly, Dcsp, GreedyProfit, NonCo, RandomAllocator};
 use dmra_core::agents::run_decentralized;
-use dmra_core::{Allocator, Dmra, DmraConfig, Threads};
+use dmra_core::{set_batch_mode_default, Allocator, BatchMode, Dmra, DmraConfig, Threads};
 use dmra_obs::{obs_debug, Level};
 use dmra_proto::DropPolicy;
 use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
@@ -45,6 +45,8 @@ pub fn help_text() -> String {
      mobility  moving UEs, handover statistics\n\
      \t--ues N --speed MPS --epochs N --seed S    (defaults 300, 5, 30, 42)\n\
      \t--policy P     full | sticky               (default full)\n\
+     \t--stationary F fraction of UEs pinned in place (default 0)\n\
+     \t--engine E     incremental | scratch       (default incremental; identical results)\n\
      plan      Erlang-B blocking prediction & dimensioning\n\
      \t--rate X --holding X --target PCT          (defaults 100, 5, 2)\n\
      help      this text\n\
@@ -55,7 +57,11 @@ pub fn help_text() -> String {
      \t--log-level L    error | warn | info | debug (overrides the flags)\n\
      \t--trace-out F    enable telemetry, write trace + metrics JSON to F,\n\
      \t                 and append the counter/timer report to the output\n\
-     \t                 (run, sweep and dynamic only)\n"
+     \t                 (run, sweep, dynamic and mobility only)\n\
+     \t--candidate-batch M  exact | approx: link-batch kernel mode\n\
+     \t                 (default exact = bit-identical to the scalar\n\
+     \t                 evaluator; approx trades ~1e-10 relative error\n\
+     \t                 for polynomial transcendentals)\n"
         .to_owned()
 }
 
@@ -70,6 +76,7 @@ pub fn help_text() -> String {
 /// Returns [`ArgError`] for unknown commands/options or failed runs.
 pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
     configure_logging(parsed)?;
+    configure_batch_mode(parsed)?;
     let trace_out = parsed.get("trace-out").map(std::path::PathBuf::from);
     if trace_out.is_some() {
         // Start the traced run from a clean slate so the emitted file
@@ -107,6 +114,23 @@ fn configure_logging(parsed: &ParsedArgs) -> Result<(), ArgError> {
         level = raw.parse().map_err(|e| ArgError(format!("{e}")))?;
     }
     dmra_obs::set_level(level);
+    Ok(())
+}
+
+/// Applies `--candidate-batch M` to the process-global default mode of
+/// the batched link-evaluation kernel. `exact` (the default) is
+/// bit-identical to the scalar evaluator; `approx` substitutes
+/// polynomial transcendentals with about 1e-10 relative error.
+fn configure_batch_mode(parsed: &ParsedArgs) -> Result<(), ArgError> {
+    match parsed.get("candidate-batch") {
+        None | Some("exact") => set_batch_mode_default(BatchMode::Exact),
+        Some("approx") => set_batch_mode_default(BatchMode::Approx),
+        Some(other) => {
+            return Err(ArgError(format!(
+                "--candidate-batch must be 'exact' or 'approx', got '{other}'"
+            )))
+        }
+    }
     Ok(())
 }
 
@@ -205,6 +229,7 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "threads",
         "log-level",
         "trace-out",
+        "candidate-batch",
     ])?;
     let seed = parsed.get_or("seed", 42u64)?;
     let rho = parsed.get_or("rho", 100.0f64)?;
@@ -254,6 +279,7 @@ fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "threads",
         "log-level",
         "trace-out",
+        "candidate-batch",
     ])?;
     let base = scenario_from(parsed)?;
     let reps = parsed.get_or("reps", 3u32)?;
@@ -341,6 +367,7 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "engine",
         "log-level",
         "trace-out",
+        "candidate-batch",
     ])?;
     let (holding, mean_holding) = parse_holding(parsed.get("holding").unwrap_or("5"))?;
     let config = DynamicConfig {
@@ -423,7 +450,11 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "iota",
         "placement",
         "policy",
+        "stationary",
+        "engine",
         "log-level",
+        "trace-out",
+        "candidate-batch",
     ])?;
     let speed = parsed.get_or("speed", 5.0f64)?;
     if speed < 0.0 {
@@ -447,10 +478,21 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         epochs: parsed.get_or("epochs", 30usize)?,
         seed: parsed.get_or("seed", 42u64)?,
         policy,
+        stationary_fraction: parsed.get_or("stationary", 0.0f64)?,
     };
-    let out = MobilitySimulator::new(config)
-        .run()
-        .map_err(|e| ArgError(e.to_string()))?;
+    let simulator = MobilitySimulator::new(config);
+    // Both engines are bit-identical; `scratch` is the slow exhaustive
+    // full-rebuild specification, exposed for spot-checks and benchmarks.
+    let out = match parsed.get("engine").unwrap_or("incremental") {
+        "incremental" => simulator.run(),
+        "scratch" => simulator.run_scratch(),
+        other => {
+            return Err(ArgError(format!(
+                "--engine must be 'incremental' or 'scratch', got '{other}'"
+            )))
+        }
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     let served_last = out.served_timeline.last().copied().unwrap_or(0);
     Ok(format!(
         "handovers:       {}
@@ -627,6 +669,50 @@ mod tests {
     fn mobility_reports_handovers() {
         let text = run(&["mobility", "--ues", "60", "--speed", "15", "--epochs", "6"]).unwrap();
         assert!(text.contains("handover rate"));
+    }
+
+    #[test]
+    fn mobility_engines_print_identical_reports() {
+        let args = [
+            "--ues",
+            "80",
+            "--speed",
+            "12",
+            "--epochs",
+            "6",
+            "--policy",
+            "sticky",
+            "--stationary",
+            "0.5",
+        ];
+        let incremental =
+            run(&[&["mobility", "--engine", "incremental"], &args[..]].concat()).unwrap();
+        let scratch = run(&[&["mobility", "--engine", "scratch"], &args[..]].concat()).unwrap();
+        assert_eq!(incremental, scratch);
+    }
+
+    #[test]
+    fn mobility_rejects_unknown_engine() {
+        let err = run(&["mobility", "--engine", "warp"]).unwrap_err();
+        assert!(err.to_string().contains("--engine"));
+    }
+
+    #[test]
+    fn mobility_rejects_bad_stationary_fraction() {
+        let err = run(&["mobility", "--stationary", "1.5"]).unwrap_err();
+        assert!(err.to_string().contains("stationary"));
+    }
+
+    #[test]
+    fn candidate_batch_exact_is_the_default_and_garbage_is_rejected() {
+        // The approx path is exercised in tests/candidate_batch.rs, which
+        // runs in its own process: flipping the process-global kernel
+        // mode here would race the other unit tests.
+        let exact = run(&["run", "--ues", "60", "--candidate-batch", "exact"]).unwrap();
+        let default = run(&["run", "--ues", "60"]).unwrap();
+        assert_eq!(exact, default);
+        let err = run(&["run", "--candidate-batch", "fuzzy"]).unwrap_err();
+        assert!(err.to_string().contains("--candidate-batch"));
     }
 
     #[test]

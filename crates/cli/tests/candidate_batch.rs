@@ -1,0 +1,50 @@
+//! End-to-end exercise of `--candidate-batch approx`.
+//!
+//! This lives in its own integration-test binary (hence its own process)
+//! because the flag sets the *process-global* default mode of the batched
+//! link kernel — flipping it inside the shared unit-test process would
+//! race every other test that compares two runs bit for bit.
+
+use dmra_cli::{dispatch, ParsedArgs};
+
+fn run(args: &[&str]) -> String {
+    dispatch(&ParsedArgs::parse(args.iter().copied()).unwrap()).unwrap()
+}
+
+#[test]
+fn approx_kernel_produces_a_close_but_complete_report() {
+    // Approx substitutes polynomial transcendentals (~1e-10 relative
+    // error); on paper-default scenarios the rounded CLI report almost
+    // always coincides with exact, but the contract here is only that the
+    // run succeeds and reports every algorithm.
+    let approx = run(&[
+        "run",
+        "--ues",
+        "150",
+        "--candidate-batch",
+        "approx",
+        "--algo",
+        "all",
+    ]);
+    for name in ["DMRA", "NonCo", "GreedyProfit"] {
+        assert!(approx.contains(name), "approx report missing {name}");
+    }
+    // The sticky mobility loop drives the cached/batched epoch path under
+    // approx as well. (No cross-engine equality here: the scratch engine
+    // uses the scalar evaluator, whose exact transcendentals may round
+    // differently from the approx kernel.)
+    let mobility = run(&[
+        "mobility",
+        "--candidate-batch",
+        "approx",
+        "--ues",
+        "80",
+        "--speed",
+        "10",
+        "--epochs",
+        "5",
+        "--policy",
+        "sticky",
+    ]);
+    assert!(mobility.contains("handover rate"));
+}

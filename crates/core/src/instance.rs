@@ -2,8 +2,8 @@
 
 use dmra_econ::{PricingConfig, ProfitLedger, ProfitReport};
 use dmra_geo::GridIndex;
-use dmra_par::{par_map_indexed, Threads};
-use dmra_radio::{InterferenceModel, LinkEvaluator, RadioConfig};
+use dmra_par::{par_map_indexed, par_map_indexed_scratch, Threads};
+use dmra_radio::{InterferenceModel, LinkBatch, LinkEvaluator, RadioConfig};
 use dmra_types::{
     BitsPerSec, BsId, BsSpec, Cru, Error, Meters, Money, Result, RrbCount, ServiceCatalog, SpSpec,
     UeId, UeSpec,
@@ -264,7 +264,7 @@ impl ProblemInstance {
         };
         let prune = coverage_prune_index(&bss, coverage, scan);
         let rows: Vec<(Vec<CandidateLink>, Meters)> =
-            par_map_indexed(row_threads, ues.len(), |u| {
+            par_map_indexed_scratch(row_threads, ues.len(), RowScratch::default, |scratch, u| {
                 candidate_row(
                     &ues[u],
                     &bss,
@@ -274,6 +274,7 @@ impl ProblemInstance {
                     coverage,
                     &pricing,
                     prune.as_ref(),
+                    scratch,
                 )
             });
 
@@ -593,9 +594,21 @@ pub(crate) fn coverage_prune_index(
     }
 }
 
+/// Reusable per-worker scratch for candidate-row generation: the pruning
+/// query's hit list and the batch kernel's structure-of-arrays buffers.
+/// One lives on each fan-out worker (via [`par_map_indexed_scratch`]), so
+/// a build allocates only up to its high-water candidate count instead of
+/// once per UE.
+#[derive(Debug, Default)]
+pub(crate) struct RowScratch {
+    pub(crate) nearby: Vec<(usize, Meters)>,
+    pub(crate) batch: LinkBatch,
+}
+
 /// Computes one UE's candidate links (in BS-id order) and the largest
-/// candidate distance in the row. Pure function of its arguments — the
-/// parallel build relies on that for bit-identical fan-out.
+/// candidate distance in the row. Pure function of its arguments (the
+/// scratch is overwritten before use) — the parallel build relies on that
+/// for bit-identical fan-out.
 #[allow(clippy::too_many_arguments)]
 fn candidate_row(
     ue: &UeSpec,
@@ -606,21 +619,22 @@ fn candidate_row(
     coverage: CoverageModel,
     pricing: &PricingConfig,
     prune: Option<&(GridIndex, Meters)>,
+    scratch: &mut RowScratch,
 ) -> (Vec<CandidateLink>, Meters) {
     let mut links = Vec::new();
     let row_max = match prune {
         Some((index, r)) => {
-            let mut nearby = Vec::new();
-            index.query_within_dist_into(ue.position, *r, &mut nearby);
-            scan_candidate_row(
+            index.query_within_dist_into(ue.position, *r, &mut scratch.nearby);
+            scan_candidate_row_batch(
                 ue,
                 bss,
-                nearby.iter().map(|&(b, d)| (b, Some(d))),
+                &scratch.nearby,
                 evaluator,
                 interference_factor,
                 total_rx_mw,
                 coverage,
                 pricing,
+                &mut scratch.batch,
                 &mut links,
             )
         }
@@ -695,6 +709,74 @@ pub(crate) fn scan_candidate_row(
         };
         // A link that can never fit the BS's total radio budget is not a
         // candidate (Algorithm 1 would prune it on first try).
+        if n_rrbs > bs.rrb_budget || ue.cru_demand > bs.cru_budget_for(ue.service) {
+            continue;
+        }
+        let same_sp = ue.sp == bs.sp;
+        let price = pricing.bs_cru_price(same_sp, metrics.distance);
+        if metrics.distance > row_max {
+            row_max = metrics.distance;
+        }
+        out.push(CandidateLink {
+            bs: bs.id,
+            distance: metrics.distance,
+            sinr_linear: metrics.sinr_linear,
+            per_rrb_rate: metrics.per_rrb_rate,
+            n_rrbs,
+            price,
+            same_sp,
+        });
+    }
+    row_max
+}
+
+/// The batched form of [`scan_candidate_row`]: one UE's pruned candidate
+/// slice (ascending BS indices with exact measured distances, i.e. the
+/// `query_within_dist_into` output) goes through
+/// [`LinkEvaluator::evaluate_batch`] in structure-of-arrays passes, then a
+/// scalar tail applies the same coverage/demand/budget filters in the same
+/// order. Under [`BatchMode::Exact`](dmra_radio::BatchMode::Exact) — the
+/// default — every accepted link is bit-identical to the scalar scan's,
+/// which the `incremental` and `mobility_incremental` integration tests
+/// pin against the exhaustive executable spec.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_candidate_row_batch(
+    ue: &UeSpec,
+    bss: &[BsSpec],
+    nearby: &[(usize, Meters)],
+    evaluator: &LinkEvaluator,
+    interference_factor: f64,
+    total_rx_mw: &[f64],
+    coverage: CoverageModel,
+    pricing: &PricingConfig,
+    batch: &mut LinkBatch,
+    out: &mut Vec<CandidateLink>,
+) -> Meters {
+    batch.clear();
+    for &(b, distance) in nearby {
+        let bs = &bss[b];
+        if !bs.hosts(ue.service) {
+            continue;
+        }
+        // `total_rx_mw` is all-zero under noise-only, so the kernel's
+        // interference term vanishes exactly as in the scalar scan.
+        batch.push(b as u32, bs.position, distance, total_rx_mw[b]);
+    }
+    evaluator.evaluate_batch(ue.tx_power, ue.position, interference_factor, batch);
+    let mut row_max = Meters::new(0.0);
+    for j in 0..batch.len() {
+        let bs = &bss[batch.tag(j) as usize];
+        let metrics = batch.metrics(j);
+        let in_coverage = match coverage {
+            CoverageModel::FixedRadius(r) => metrics.distance <= r,
+            CoverageModel::MinPerRrbRate(min_rate) => metrics.per_rrb_rate >= min_rate,
+        };
+        if !in_coverage {
+            continue;
+        }
+        let Some(n_rrbs) = evaluator.rrbs_required(ue.rate_demand, metrics.per_rrb_rate) else {
+            continue;
+        };
         if n_rrbs > bs.rrb_budget || ue.cru_demand > bs.cru_budget_for(ue.service) {
             continue;
         }

@@ -23,14 +23,33 @@
 //! path ([`ProblemInstance::residual`]) by the `incremental` integration
 //! tests: identical candidate rows, identical allocations, identical
 //! simulated outcomes for every allocator, seed and thread count.
+//!
+//! Two hot-path accelerators sit on top (both bit-identical, both pinned
+//! by the same test pattern):
+//!
+//! * pruned candidate rows run through the structure-of-arrays
+//!   [`LinkEvaluator::evaluate_batch`] kernel, and batches of ≥1024 UEs
+//!   fan the row rebuild out over [`par_map_indexed_scratch`] workers
+//!   with an index-ordered merge;
+//! * an opt-in cross-epoch [`row cache`](DeploymentContext::with_row_cache)
+//!   reuses the candidate row of any UE whose key (position bits, SP,
+//!   service, demands, transmit power) is unchanged since the previous
+//!   epoch *and* whose epoch saw no remaining-budget change — the sticky
+//!   mobility regime, where most UEs move but budgets reset per epoch, or
+//!   stationary UEs ride through epochs untouched. Any budget difference
+//!   bumps a global stamp, invalidating every slot at once (conservative:
+//!   a freed RRB could re-admit a pruned candidate anywhere). The cache
+//!   stays off under load-proportional interference, where every row
+//!   depends on the whole batch.
 
 use crate::instance::{
-    coverage_prune_index, scan_candidate_row, validate_ues, CandidateScan, CoverageModel,
-    ProblemInstance,
+    coverage_prune_index, scan_candidate_row, scan_candidate_row_batch, validate_ues,
+    CandidateLink, CandidateScan, CoverageModel, ProblemInstance, RowScratch,
 };
 use dmra_geo::GridIndex;
-use dmra_radio::{InterferenceModel, LinkEvaluator};
-use dmra_types::{Cru, Error, Meters, Result, RrbCount, UeSpec};
+use dmra_par::{par_map_indexed_scratch, Threads};
+use dmra_radio::{InterferenceModel, LinkBatch, LinkEvaluator};
+use dmra_types::{Cru, Error, Meters, Result, RrbCount, ServiceId, SpId, UeSpec};
 
 /// Epoch-persistent deployment state for the online regime.
 ///
@@ -60,6 +79,134 @@ pub struct DeploymentContext {
     /// Reused buffer for grid-index radius queries; each hit carries its
     /// exact distance so the scan kernel never recomputes it.
     query_buf: Vec<(usize, Meters)>,
+    /// Structure-of-arrays scratch for the batched link kernel.
+    batch: LinkBatch,
+    /// Cross-epoch candidate-row cache (opt-in, see
+    /// [`DeploymentContext::with_row_cache`]).
+    row_cache: Option<RowCache>,
+    /// Worker-count knob for the ≥[`PAR_ROWS_MIN`]-UE row-rebuild fan-out.
+    threads: Threads,
+}
+
+/// Row batches below this many UEs rebuild serially: thread spawns cost
+/// more than the rows themselves at dynamic-simulator epoch sizes.
+const PAR_ROWS_MIN: usize = 1024;
+
+/// Everything a candidate row depends on besides the fixed deployment and
+/// the remaining budgets: the UE's own spec (position as raw bits — a
+/// cache hit must mean *bit-identical* inputs, so no epsilon) plus the
+/// budget stamp of the epoch the row was built in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowKey {
+    x_bits: u64,
+    y_bits: u64,
+    sp: SpId,
+    service: ServiceId,
+    cru_demand: Cru,
+    rate_bits: u64,
+    tx_bits: u64,
+    stamp: u64,
+}
+
+impl RowKey {
+    fn of(ue: &UeSpec, stamp: u64) -> Self {
+        Self {
+            x_bits: ue.position.x.to_bits(),
+            y_bits: ue.position.y.to_bits(),
+            sp: ue.sp,
+            service: ue.service,
+            cru_demand: ue.cru_demand,
+            rate_bits: ue.rate_demand.get().to_bits(),
+            tx_bits: ue.tx_power.get().to_bits(),
+            stamp,
+        }
+    }
+}
+
+/// One cached candidate row.
+#[derive(Debug, Clone)]
+struct CachedRow {
+    key: RowKey,
+    links: Vec<CandidateLink>,
+    row_max: Meters,
+}
+
+/// Cross-epoch candidate-row cache. Slot `u` caches the row of the UE at
+/// batch position `u` (UE ids are dense per epoch); the key carries
+/// everything the row depends on, and one global stamp — bumped whenever
+/// the remaining budgets differ from the previous epoch's — invalidates
+/// all slots at once.
+#[derive(Debug, Clone, Default)]
+struct RowCache {
+    slots: Vec<Option<CachedRow>>,
+    stamp: u64,
+    prev_rem_cru: Vec<Vec<Cru>>,
+    prev_rem_rrb: Vec<RrbCount>,
+}
+
+impl RowCache {
+    /// Compares this epoch's remaining budgets against the previous
+    /// epoch's and bumps the stamp on any difference (also on the first
+    /// epoch). Returns whether the stamp was bumped — i.e. whether every
+    /// cached row was just invalidated.
+    fn observe_budgets(&mut self, rem_cru: &[Vec<Cru>], rem_rrb: &[RrbCount]) -> bool {
+        let unchanged = self.prev_rem_rrb == rem_rrb
+            && self.prev_rem_cru.len() == rem_cru.len()
+            && self.prev_rem_cru.iter().zip(rem_cru).all(|(a, b)| a == b);
+        if unchanged {
+            return false;
+        }
+        self.stamp += 1;
+        self.prev_rem_cru.resize_with(rem_cru.len(), Vec::new);
+        for (dst, src) in self.prev_rem_cru.iter_mut().zip(rem_cru) {
+            dst.clone_from(src);
+        }
+        self.prev_rem_rrb.clear();
+        self.prev_rem_rrb.extend_from_slice(rem_rrb);
+        true
+    }
+
+    /// The cached row for batch slot `u`, if its key matches.
+    fn lookup(&self, u: usize, key: &RowKey) -> Option<&CachedRow> {
+        match self.slots.get(u) {
+            Some(Some(row)) if row.key == *key => Some(row),
+            _ => None,
+        }
+    }
+
+    /// Stores (or overwrites) slot `u`, reusing its allocation.
+    fn store(&mut self, u: usize, key: RowKey, links: &[CandidateLink], row_max: Meters) {
+        if self.slots.len() <= u {
+            self.slots.resize_with(u + 1, || None);
+        }
+        match &mut self.slots[u] {
+            Some(row) => {
+                row.key = key;
+                row.links.clear();
+                row.links.extend_from_slice(links);
+                row.row_max = row_max;
+            }
+            slot @ None => {
+                *slot = Some(CachedRow {
+                    key,
+                    links: links.to_vec(),
+                    row_max,
+                });
+            }
+        }
+    }
+}
+
+/// What one parallel row-rebuild worker found for one UE.
+enum RowOutcome {
+    /// Cache hit: the stored row is still valid, merge straight from it.
+    Hit,
+    /// Rebuilt row (`kept` = pruning-query hits, for telemetry).
+    Miss {
+        links: Vec<CandidateLink>,
+        row_max: Meters,
+        kept: u32,
+    },
 }
 
 impl DeploymentContext {
@@ -93,7 +240,35 @@ impl DeploymentContext {
             prune,
             validated_distance: Meters::new(0.0),
             query_buf: Vec::new(),
+            batch: LinkBatch::new(),
+            row_cache: None,
+            threads: Threads::Auto,
         }
+    }
+
+    /// Enables the cross-epoch candidate-row cache: a UE whose key
+    /// (position bits, SP, service, demands, transmit power) is unchanged
+    /// since the previous epoch reuses its cached row verbatim, provided
+    /// no remaining budget changed in between (any change bumps a global
+    /// stamp and invalidates every slot — a freed budget could re-admit a
+    /// candidate the build-time prune dropped). Intended for sticky
+    /// populations (the mobility regime); under load-proportional
+    /// interference the cache is bypassed, because every row depends on
+    /// the whole batch. Outputs stay bit-identical to an uncached
+    /// rebuild — `tests/mobility_incremental.rs` pins this.
+    #[must_use]
+    pub fn with_row_cache(mut self) -> Self {
+        self.row_cache = Some(RowCache::default());
+        self
+    }
+
+    /// Sets the worker-count knob for the row-rebuild fan-out (batches
+    /// of ≥1024 UEs; smaller epochs always rebuild serially). The merge
+    /// is index-ordered, so outputs are bit-identical for every count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Builds this epoch's instance in place: same deployment, the given
@@ -186,6 +361,21 @@ impl DeploymentContext {
         }
         inst.ues = ues;
 
+        // Row-cache epoch bookkeeping, before any row is built: any
+        // remaining-budget difference against the previous epoch bumps
+        // the stamp, so every slot built under the old budgets misses.
+        // Load-proportional interference couples each row to the whole
+        // batch, so the cache is bypassed entirely there.
+        let cache_active = self.row_cache.is_some() && self.interference_factor == 0.0;
+        let mut cache_invalidated = false;
+        if cache_active {
+            let cache = self.row_cache.as_mut().expect("cache_active");
+            cache_invalidated = cache.observe_budgets(rem_cru, rem_rrb);
+        }
+        let stamp = self.row_cache.as_ref().map_or(0, |c| c.stamp);
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+
         // Per-BS interference aggregates depend on the epoch's batch; the
         // serial per-BS sum visits UEs in id order, exactly like the
         // static build's fan-out.
@@ -208,54 +398,208 @@ impl DeploymentContext {
         for covered in &mut inst.covered_ues {
             covered.clear();
         }
+        let kernel_started = obs_on.then(std::time::Instant::now);
         let mut max_candidate_distance = Meters::new(0.0);
-        for u in 0..inst.ues.len() {
-            let row_from = inst.links.len();
-            let row_max = match &self.prune {
-                Some((index, radius)) => {
-                    index.query_within_dist_into(
-                        inst.ues[u].position,
-                        *radius,
-                        &mut self.query_buf,
-                    );
-                    if obs_on {
-                        precull_kept += self.query_buf.len() as u64;
-                        precull_rejected += (n_bss - self.query_buf.len()) as u64;
-                    }
-                    scan_candidate_row(
-                        &inst.ues[u],
-                        &inst.bss,
-                        self.query_buf.iter().map(|&(b, d)| (b, Some(d))),
-                        &self.evaluator,
-                        self.interference_factor,
-                        &self.total_rx_mw,
-                        inst.coverage,
-                        &inst.pricing,
-                        &mut inst.links,
-                    )
-                }
-                None => scan_candidate_row(
-                    &inst.ues[u],
-                    &inst.bss,
-                    (0..n_bss).map(|b| (b, None)),
-                    &self.evaluator,
-                    self.interference_factor,
-                    &self.total_rx_mw,
-                    inst.coverage,
-                    &inst.pricing,
-                    &mut inst.links,
-                ),
+        let n_ues = inst.ues.len();
+        let parallel = n_ues >= PAR_ROWS_MIN && self.threads.resolve() > 1;
+        if parallel {
+            // Large batch: fan the per-UE rows out over worker threads,
+            // exactly like the static build — contiguous chunks, merged
+            // in UE-id order, so the result is bit-identical to the
+            // serial loop below for every worker count. Workers read the
+            // pre-epoch cache; slots are written back during the serial
+            // merge (safe: slot `u` depends only on UE `u`).
+            let ues = &inst.ues;
+            let bss = &inst.bss;
+            let coverage = inst.coverage;
+            let pricing = &inst.pricing;
+            let evaluator = &self.evaluator;
+            let interference_factor = self.interference_factor;
+            let total_rx_mw = &self.total_rx_mw;
+            let prune = self.prune.as_ref();
+            let cache_ref = if cache_active {
+                self.row_cache.as_ref()
+            } else {
+                None
             };
-            if row_max > max_candidate_distance {
-                max_candidate_distance = row_max;
+            let outcomes =
+                par_map_indexed_scratch(self.threads, n_ues, RowScratch::default, |scratch, u| {
+                    let ue = &ues[u];
+                    if let Some(cache) = cache_ref {
+                        if cache.lookup(u, &RowKey::of(ue, stamp)).is_some() {
+                            return RowOutcome::Hit;
+                        }
+                    }
+                    let mut links = Vec::new();
+                    let (row_max, kept) = match prune {
+                        Some((index, radius)) => {
+                            index.query_within_dist_into(ue.position, *radius, &mut scratch.nearby);
+                            let kept = scratch.nearby.len() as u32;
+                            (
+                                scan_candidate_row_batch(
+                                    ue,
+                                    bss,
+                                    &scratch.nearby,
+                                    evaluator,
+                                    interference_factor,
+                                    total_rx_mw,
+                                    coverage,
+                                    pricing,
+                                    &mut scratch.batch,
+                                    &mut links,
+                                ),
+                                kept,
+                            )
+                        }
+                        None => (
+                            scan_candidate_row(
+                                ue,
+                                bss,
+                                (0..bss.len()).map(|b| (b, None)),
+                                evaluator,
+                                interference_factor,
+                                total_rx_mw,
+                                coverage,
+                                pricing,
+                                &mut links,
+                            ),
+                            0,
+                        ),
+                    };
+                    RowOutcome::Miss {
+                        links,
+                        row_max,
+                        kept,
+                    }
+                });
+            let pruned = self.prune.is_some();
+            for (u, outcome) in outcomes.into_iter().enumerate() {
+                let row_from = inst.links.len();
+                let row_max = match outcome {
+                    RowOutcome::Hit => {
+                        cache_hits += 1;
+                        let row = self.row_cache.as_ref().expect("hit implies cache").slots[u]
+                            .as_ref()
+                            .expect("hit implies slot");
+                        inst.links.extend_from_slice(&row.links);
+                        row.row_max
+                    }
+                    RowOutcome::Miss {
+                        links,
+                        row_max,
+                        kept,
+                    } => {
+                        if obs_on && pruned {
+                            precull_kept += u64::from(kept);
+                            precull_rejected += (n_bss - kept as usize) as u64;
+                        }
+                        if cache_active {
+                            cache_misses += 1;
+                            self.row_cache.as_mut().expect("cache_active").store(
+                                u,
+                                RowKey::of(&inst.ues[u], stamp),
+                                &links,
+                                row_max,
+                            );
+                        }
+                        inst.links.extend(links);
+                        row_max
+                    }
+                };
+                if row_max > max_candidate_distance {
+                    max_candidate_distance = row_max;
+                }
+                inst.f_u.push((inst.links.len() - row_from) as u32);
+                inst.row_start.push(inst.links.len());
+                let ue_id = inst.ues[u].id;
+                for link in &inst.links[row_from..] {
+                    inst.covered_ues[link.bs.as_usize()].push(ue_id);
+                }
             }
-            inst.f_u.push((inst.links.len() - row_from) as u32);
-            inst.row_start.push(inst.links.len());
-            let ue_id = inst.ues[u].id;
-            for link in &inst.links[row_from..] {
-                inst.covered_ues[link.bs.as_usize()].push(ue_id);
+        } else {
+            for u in 0..n_ues {
+                let row_from = inst.links.len();
+                let key = if cache_active {
+                    Some(RowKey::of(&inst.ues[u], stamp))
+                } else {
+                    None
+                };
+                let mut row_max = Meters::new(0.0);
+                let mut hit = false;
+                if let Some(key) = &key {
+                    if let Some(row) = self
+                        .row_cache
+                        .as_ref()
+                        .expect("cache_active")
+                        .lookup(u, key)
+                    {
+                        inst.links.extend_from_slice(&row.links);
+                        row_max = row.row_max;
+                        hit = true;
+                    }
+                }
+                if hit {
+                    cache_hits += 1;
+                } else {
+                    row_max = match &self.prune {
+                        Some((index, radius)) => {
+                            index.query_within_dist_into(
+                                inst.ues[u].position,
+                                *radius,
+                                &mut self.query_buf,
+                            );
+                            if obs_on {
+                                precull_kept += self.query_buf.len() as u64;
+                                precull_rejected += (n_bss - self.query_buf.len()) as u64;
+                            }
+                            scan_candidate_row_batch(
+                                &inst.ues[u],
+                                &inst.bss,
+                                &self.query_buf,
+                                &self.evaluator,
+                                self.interference_factor,
+                                &self.total_rx_mw,
+                                inst.coverage,
+                                &inst.pricing,
+                                &mut self.batch,
+                                &mut inst.links,
+                            )
+                        }
+                        None => scan_candidate_row(
+                            &inst.ues[u],
+                            &inst.bss,
+                            (0..n_bss).map(|b| (b, None)),
+                            &self.evaluator,
+                            self.interference_factor,
+                            &self.total_rx_mw,
+                            inst.coverage,
+                            &inst.pricing,
+                            &mut inst.links,
+                        ),
+                    };
+                    if let Some(key) = key {
+                        cache_misses += 1;
+                        let links = &inst.links[row_from..];
+                        self.row_cache
+                            .as_mut()
+                            .expect("cache_active")
+                            .store(u, key, links, row_max);
+                    }
+                }
+                if row_max > max_candidate_distance {
+                    max_candidate_distance = row_max;
+                }
+                inst.f_u.push((inst.links.len() - row_from) as u32);
+                inst.row_start.push(inst.links.len());
+                let ue_id = inst.ues[u].id;
+                for link in &inst.links[row_from..] {
+                    inst.covered_ues[link.bs.as_usize()].push(ue_id);
+                }
             }
         }
+        let kernel_ns = kernel_started.map_or(0, |t| {
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
 
         // Constraint (16): the worst-case price is monotone in distance,
         // so only a new high-water distance needs re-validation — and it
@@ -290,6 +634,14 @@ impl DeploymentContext {
                 dmra_obs::LazyHistogram::new("online.epoch_build_ns");
             static EVENT_BUILD_NS: dmra_obs::LazyHistogram =
                 dmra_obs::LazyHistogram::new("online.event_build_ns");
+            static BATCH_KERNEL_NS: dmra_obs::LazyHistogram =
+                dmra_obs::LazyHistogram::new("online.batch_kernel_ns");
+            static ROW_CACHE_HITS: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.row_cache_hits");
+            static ROW_CACHE_MISSES: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.row_cache_misses");
+            static ROW_CACHE_INVALIDATIONS: dmra_obs::LazyCounter =
+                dmra_obs::LazyCounter::new("online.row_cache_invalidations");
             let inst = &self.instance;
             // The event path mirrors the epoch path under its own build
             // counter/histogram/trace names; the per-row counters below
@@ -320,6 +672,16 @@ impl DeploymentContext {
             } else {
                 EPOCH_BUILD_NS.get().record(build_ns);
             }
+            // The row scan/batch-kernel phase of the build, cache hits
+            // included (a hit is the phase doing its job in O(row)).
+            BATCH_KERNEL_NS.get().record(kernel_ns);
+            if self.row_cache.is_some() {
+                ROW_CACHE_HITS.get().add(cache_hits);
+                ROW_CACHE_MISSES.get().add(cache_misses);
+                if cache_invalidated {
+                    ROW_CACHE_INVALIDATIONS.get().inc();
+                }
+            }
             let mut fields = vec![
                 ("ues", inst.ues.len() as f64),
                 ("precull_kept", precull_kept as f64),
@@ -327,7 +689,13 @@ impl DeploymentContext {
                 ("links", inst.links.len() as f64),
                 ("margin_recheck", f64::from(u8::from(margin_recheck))),
                 ("wall_ns", build_ns as f64),
+                ("kernel_ns", kernel_ns as f64),
             ];
+            if self.row_cache.is_some() {
+                fields.push(("cache_hits", cache_hits as f64));
+                fields.push(("cache_misses", cache_misses as f64));
+                fields.push(("cache_invalidated", f64::from(u8::from(cache_invalidated))));
+            }
             if let Some(t) = event_time {
                 fields.insert(0, ("time", t));
             }
@@ -474,6 +842,74 @@ mod tests {
             .epoch_instance(&rem_cru, &rem_rrb, fresh_batch(2))
             .unwrap();
         assert_eq!(ok.n_ues(), 2);
+    }
+
+    #[test]
+    fn row_cache_matches_residual_across_budget_churn() {
+        // Same UE batch, varying budgets: the stamp must invalidate the
+        // cached rows whenever the budgets change, and the cached rebuild
+        // must equal the scratch residual every epoch. Epochs 0 and 2
+        // share budgets with no change in between epochs 2→3, exercising
+        // both the invalidation and the verbatim-reuse paths.
+        let deployment = two_sp_instance();
+        let mut ctx = DeploymentContext::new(&deployment).with_row_cache();
+        let full_cru: Vec<Vec<Cru>> = deployment
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let full_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+        let tight_cru = vec![vec![Cru::new(8), Cru::new(4)], vec![Cru::new(5), Cru::ZERO]];
+        let tight_rrb = vec![RrbCount::new(6), RrbCount::new(2)];
+        let epochs: [(&[Vec<Cru>], &[RrbCount]); 4] = [
+            (&full_cru, &full_rrb),
+            (&tight_cru, &tight_rrb),
+            (&full_cru, &full_rrb),
+            (&full_cru, &full_rrb), // unchanged: pure cache-hit epoch
+        ];
+        let batch = fresh_batch(3);
+        for (rem_cru, rem_rrb) in epochs {
+            let scratch = deployment
+                .residual(rem_cru, rem_rrb, batch.clone())
+                .unwrap();
+            let fast = ctx.epoch_instance(rem_cru, rem_rrb, batch.clone()).unwrap();
+            assert_same_instance(fast, &scratch);
+        }
+    }
+
+    #[test]
+    fn row_cache_tracks_moved_and_changed_ues() {
+        // A moved UE, a service change and a demand change must all miss
+        // the cache; stationary UEs keep their rows. Equality against the
+        // scratch residual is the oracle.
+        let deployment = two_sp_instance();
+        let mut ctx = DeploymentContext::new(&deployment).with_row_cache();
+        let rem_cru: Vec<Vec<Cru>> = deployment
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let rem_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+        let mut batch = fresh_batch(4);
+        for epoch in 0..4 {
+            if epoch > 0 {
+                batch[0].position = Point::new(40.0 + 10.0 * epoch as f64, 25.0);
+            }
+            if epoch == 2 {
+                batch[1].service = ServiceId::new(1);
+            }
+            if epoch == 3 {
+                batch[2].cru_demand = Cru::new(7);
+                batch[2].rate_demand = BitsPerSec::from_mbps(5.5);
+            }
+            let scratch = deployment
+                .residual(&rem_cru, &rem_rrb, batch.clone())
+                .unwrap();
+            let fast = ctx
+                .epoch_instance(&rem_cru, &rem_rrb, batch.clone())
+                .unwrap();
+            assert_same_instance(fast, &scratch);
+        }
     }
 
     #[test]

@@ -191,6 +191,18 @@ pub(crate) fn json_escape(s: &str) -> String {
 }
 
 impl Snapshot {
+    /// Looks up a counter's value by name (`None` if it was never
+    /// touched). The vectors are sorted by name, so this is a binary
+    /// search — cheap enough for report code that reads a handful of
+    /// counters out of a large snapshot.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
     /// Renders the snapshot as a JSON object (hand-rolled: the
     /// workspace's vendored serde stub cannot derive serialization).
     /// Schema: `{"counters": {name: u64, ...}, "gauges": {...},
@@ -304,6 +316,19 @@ mod tests {
         reg.counter("x").add(2);
         reg.counter("x").add(3);
         assert_eq!(reg.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn snapshot_counter_lookup_finds_by_name() {
+        let reg = Registry::new();
+        reg.counter("b.hits").add(7);
+        reg.counter("a.misses").add(2);
+        reg.counter("c.evictions").add(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.misses"), Some(2));
+        assert_eq!(snap.counter("b.hits"), Some(7));
+        assert_eq!(snap.counter("c.evictions"), Some(1));
+        assert_eq!(snap.counter("never.touched"), None);
     }
 
     #[test]

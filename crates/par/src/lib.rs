@@ -123,6 +123,59 @@ where
     })
 }
 
+/// [`par_map_indexed`] with per-worker scratch state.
+///
+/// `init` builds one scratch value per worker (per chunk) and `f` maps
+/// each index with mutable access to its worker's scratch — the pattern
+/// for hot loops that reuse buffers (a candidate batch, a neighbour
+/// list) instead of allocating per item. The serial path builds a single
+/// scratch and reuses it across all indices, so an item's output must
+/// not depend on what earlier items left in the scratch (`f` should
+/// overwrite/clear what it reads). Under that contract the result is the
+/// same `Vec` a serial run produces, bit-identical for any thread count,
+/// exactly like [`par_map_indexed`].
+///
+/// # Panics
+///
+/// Propagates panics from `init`/`f` (the first panicking chunk in index
+/// order).
+pub fn par_map_indexed_scratch<S, T, I, F>(threads: Threads, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = threads.resolve().min(n.max(1));
+    if workers <= 1 || ON_WORKER.with(Cell::get) {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let init = &init;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = n.min(start + chunk);
+                scope.spawn(move || {
+                    ON_WORKER.with(|flag| flag.set(true));
+                    let mut scratch = init();
+                    (start..end).map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +220,47 @@ mod tests {
     fn auto_resolves_positive() {
         // Whatever the environment says, the answer is a usable count.
         assert!(Threads::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn scratch_variant_matches_serial_for_every_thread_count() {
+        // The scratch is a reusable buffer; each item overwrites what it
+        // reads, per the contract.
+        let map = |scratch: &mut Vec<u64>, i: usize| {
+            scratch.clear();
+            scratch.extend((0..=i as u64).map(|x| x * 2));
+            scratch.iter().sum::<u64>()
+        };
+        let mut serial_scratch = Vec::new();
+        let serial: Vec<u64> = (0..57).map(|i| map(&mut serial_scratch, i)).collect();
+        for workers in [1, 2, 3, 4, 16, 100] {
+            let par = par_map_indexed_scratch(Threads::Fixed(workers), 57, Vec::new, map);
+            assert_eq!(par, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_builds_one_scratch_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out = par_map_indexed_scratch(
+            Threads::Fixed(4),
+            8,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+            },
+            |(), i| i,
+        );
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scratch_variant_handles_empty_input() {
+        assert_eq!(
+            par_map_indexed_scratch(Threads::Fixed(4), 0, || 0u8, |_, i| i),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

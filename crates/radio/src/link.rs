@@ -1,8 +1,62 @@
 //! Per-link evaluation: from geometry and powers to SINR, per-RRB rate and
 //! RRB demand.
+//!
+//! Two evaluation shapes share the same physics:
+//!
+//! * the scalar chain ([`LinkEvaluator::evaluate_at_distance`]), one link
+//!   at a time — the executable specification;
+//! * the batched kernel ([`LinkEvaluator::evaluate_batch`]), which takes
+//!   one UE's whole pruned candidate slice and computes path loss, SINR
+//!   and per-RRB rate in structure-of-arrays passes. Under
+//!   [`BatchMode::Exact`] (the default) every lane performs the scalar
+//!   chain's operations in the scalar chain's order, so the outputs are
+//!   **bit-identical** to `evaluate_at_distance` — pinned by property
+//!   tests. [`BatchMode::Approx`] is the opt-in fast lane: `log10`, `2^x`
+//!   rewritten through shared polynomial `ln`/`exp` helpers with no libm
+//!   calls inside the loops, so LLVM can auto-vectorize the passes; it is
+//!   accurate to ≲1e−10 relative error (also property-tested) but *not*
+//!   bit-identical, which is why it is never the default.
 
 use crate::config::RadioConfig;
 use dmra_types::{BitsPerSec, Db, Dbm, Meters, Point, RrbCount};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How [`LinkEvaluator::evaluate_batch`] computes its transcendentals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Per-lane operations identical to the scalar chain: bit-identical
+    /// outputs, still benefits from the structure-of-arrays layout.
+    #[default]
+    Exact,
+    /// Polynomial `ln`/`exp` replacements (no libm in the loop): the
+    /// passes auto-vectorize, outputs agree with the scalar chain to
+    /// ≲1e−10 relative error. Opt in via `--candidate-batch approx` or
+    /// [`set_batch_mode_default`].
+    Approx,
+}
+
+/// Process-wide default consumed by [`LinkEvaluator::new`] (`false` =
+/// [`BatchMode::Exact`]). A plain relaxed atomic: the flag is set once at
+/// CLI startup, before any evaluator exists.
+static BATCH_MODE_APPROX: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide default [`BatchMode`] picked up by every
+/// subsequently constructed [`LinkEvaluator`]. Intended for CLI startup
+/// (`--candidate-batch`); library code should use
+/// [`LinkEvaluator::with_batch_mode`] instead.
+pub fn set_batch_mode_default(mode: BatchMode) {
+    BATCH_MODE_APPROX.store(mode == BatchMode::Approx, Ordering::Relaxed);
+}
+
+/// The current process-wide default [`BatchMode`].
+#[must_use]
+pub fn batch_mode_default() -> BatchMode {
+    if BATCH_MODE_APPROX.load(Ordering::Relaxed) {
+        BatchMode::Approx
+    } else {
+        BatchMode::Exact
+    }
+}
 
 /// Everything the allocation layer needs to know about one UE–BS link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +81,171 @@ impl LinkMetrics {
     }
 }
 
+/// Reusable structure-of-arrays scratch for [`LinkEvaluator::evaluate_batch`].
+///
+/// The caller clears it, pushes one lane per candidate BS (carrying the
+/// exact distance a pruning query measured), runs the batch kernel, and
+/// reads the results back per lane. All buffers are retained across
+/// `clear` calls, so a hot loop allocates only until its high-water batch
+/// size.
+#[derive(Debug, Clone, Default)]
+pub struct LinkBatch {
+    /// Caller-owned lane tag (the BS index, for the candidate scan).
+    tag: Vec<u32>,
+    /// Candidate BS positions (shadowing is a function of the endpoints).
+    bs_pos: Vec<Point>,
+    /// Exact UE–BS distances, in meters.
+    dist: Vec<f64>,
+    /// Per-lane aggregate received power at the BS (interference input;
+    /// zero when the interference factor is zero).
+    total_rx_mw: Vec<f64>,
+    /// Attenuation (path loss + shadowing), dB.
+    att: Vec<f64>,
+    /// Received power, dBm.
+    rx_dbm: Vec<f64>,
+    /// Received power, linear milliwatts.
+    rx_mw: Vec<f64>,
+    /// Linear SINR.
+    sinr: Vec<f64>,
+    /// Per-RRB Shannon rate, bit/s.
+    rate: Vec<f64>,
+}
+
+impl LinkBatch {
+    /// Creates an empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the batch, retaining capacity.
+    pub fn clear(&mut self) {
+        self.tag.clear();
+        self.bs_pos.clear();
+        self.dist.clear();
+        self.total_rx_mw.clear();
+    }
+
+    /// Adds one candidate lane. `distance` must be the exact UE–BS
+    /// distance (same contract as
+    /// [`LinkEvaluator::evaluate_at_distance`]); `total_rx_mw` is the
+    /// aggregate received power at this BS, or `0.0` under noise-only.
+    pub fn push(&mut self, tag: u32, bs: Point, distance: Meters, total_rx_mw: f64) {
+        self.tag.push(tag);
+        self.bs_pos.push(bs);
+        self.dist.push(distance.get());
+        self.total_rx_mw.push(total_rx_mw);
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tag.len()
+    }
+
+    /// Whether the batch has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tag.is_empty()
+    }
+
+    /// The caller-supplied tag of lane `j`.
+    #[must_use]
+    pub fn tag(&self, j: usize) -> u32 {
+        self.tag[j]
+    }
+
+    /// The full metrics of lane `j` (valid after
+    /// [`LinkEvaluator::evaluate_batch`]). Under [`BatchMode::Exact`]
+    /// this is bit-identical to the scalar
+    /// [`LinkEvaluator::evaluate_at_distance`] result for the lane.
+    #[must_use]
+    pub fn metrics(&self, j: usize) -> LinkMetrics {
+        LinkMetrics {
+            distance: Meters::new(self.dist[j]),
+            attenuation: Db::new(self.att[j]),
+            rx_power: Dbm::new(self.rx_dbm[j]),
+            sinr_linear: self.sinr[j],
+            per_rrb_rate: BitsPerSec::new(self.rate[j]),
+        }
+    }
+}
+
+/// `ln(x)` without libm, for the [`BatchMode::Approx`] lanes: exponent
+/// split via the bit pattern, mantissa via the atanh series on
+/// `[√½, √2]`. Requires a positive, normal, finite input (all batch
+/// operands are: clamped distances and `1 + SINR ≥ 1`). Relative error
+/// ≲1e−12.
+#[inline]
+fn fast_ln(x: f64) -> f64 {
+    debug_assert!(x.is_normal() && x > 0.0, "fast_ln needs a positive normal");
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // ln(m) = 2·atanh(t); |t| ≤ 0.172 so the truncation tail is ≤ 2e−13.
+    let series = 2.0
+        * t
+        * (1.0
+            + t2 * (1.0 / 3.0
+                + t2 * (1.0 / 5.0
+                    + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0 + t2 / 13.0))))));
+    (e as f64) * std::f64::consts::LN_2 + series
+}
+
+/// `e^x` without libm, for the [`BatchMode::Approx`] lanes: power-of-two
+/// split plus a degree-11 Taylor polynomial on `|r| ≤ ln2/2`. Valid for
+/// the batch's operand range (|x| ≲ 700). Relative error ≲1e−13.
+#[inline]
+fn fast_exp(x: f64) -> f64 {
+    let k = (x * std::f64::consts::LOG2_E).round();
+    let r = x - k * std::f64::consts::LN_2;
+    let mut poly = 1.0 / 39_916_800.0; // 1/11!
+    for inv_fact in [
+        1.0 / 3_628_800.0,
+        1.0 / 362_880.0,
+        1.0 / 40_320.0,
+        1.0 / 5_040.0,
+        1.0 / 720.0,
+        1.0 / 120.0,
+        1.0 / 24.0,
+        1.0 / 6.0,
+        0.5,
+        1.0,
+        1.0,
+    ] {
+        poly = poly * r + inv_fact;
+    }
+    // 2^k via the exponent field; k is within ±1074 for every finite
+    // input this kernel sees, and the debug assert keeps it honest.
+    let ik = k as i64;
+    debug_assert!((-1022..=1023).contains(&ik), "fast_exp overflow: {x}");
+    poly * f64::from_bits(((ik + 1023) as u64) << 52)
+}
+
+/// `log10(x)` via [`fast_ln`].
+#[inline]
+fn fast_log10(x: f64) -> f64 {
+    fast_ln(x) * std::f64::consts::LOG10_E
+}
+
+/// `log2(x)` via [`fast_ln`].
+#[inline]
+fn fast_log2(x: f64) -> f64 {
+    fast_ln(x) * std::f64::consts::LOG2_E
+}
+
+/// `10^x` via [`fast_exp`].
+#[inline]
+fn fast_pow10(x: f64) -> f64 {
+    fast_exp(x * std::f64::consts::LN_10)
+}
+
 /// Evaluates links under a fixed [`RadioConfig`].
 ///
 /// The evaluator is cheap to clone and stateless; all randomness
@@ -35,14 +254,35 @@ impl LinkMetrics {
 pub struct LinkEvaluator {
     config: RadioConfig,
     noise_mw: f64,
+    mode: BatchMode,
 }
 
 impl LinkEvaluator {
-    /// Creates an evaluator, precomputing the per-RRB noise floor.
+    /// Creates an evaluator, precomputing the per-RRB noise floor. The
+    /// batch mode is the process-wide default ([`batch_mode_default`]),
+    /// which is [`BatchMode::Exact`] unless the CLI opted in to the
+    /// approximate lane.
     #[must_use]
     pub fn new(config: RadioConfig) -> Self {
         let noise_mw = config.noise_power_per_rrb_mw();
-        Self { config, noise_mw }
+        Self {
+            config,
+            noise_mw,
+            mode: batch_mode_default(),
+        }
+    }
+
+    /// Overrides the [`BatchMode`] for this evaluator.
+    #[must_use]
+    pub fn with_batch_mode(mut self, mode: BatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The batch mode this evaluator runs under.
+    #[must_use]
+    pub fn batch_mode(&self) -> BatchMode {
+        self.mode
     }
 
     /// The configuration this evaluator was built with.
@@ -112,6 +352,147 @@ impl LinkEvaluator {
             rx_power,
             sinr_linear,
             per_rrb_rate,
+        }
+    }
+
+    /// Evaluates one UE's whole candidate slice in structure-of-arrays
+    /// passes over the lanes pushed into `batch`.
+    ///
+    /// Lane `j` computes exactly what
+    /// [`LinkEvaluator::evaluate_at_distance`] computes for
+    /// `(tx_power, ue, batch.bs_pos[j], batch.dist[j])` with interference
+    /// `interference_factor × (total_rx_mw[j] − own_rx)⁺` — the
+    /// load-proportional term of the candidate scan. Under
+    /// [`BatchMode::Exact`] every lane is bit-identical to the scalar
+    /// chain; under [`BatchMode::Approx`] the transcendentals run through
+    /// the polynomial helpers and agree to ≲1e−10 relative error. Results
+    /// are read back with [`LinkBatch::metrics`].
+    pub fn evaluate_batch(
+        &self,
+        tx_power: Dbm,
+        ue: Point,
+        interference_factor: f64,
+        batch: &mut LinkBatch,
+    ) {
+        let n = batch.dist.len();
+        batch.att.clear();
+        batch.att.resize(n, 0.0);
+        batch.rx_dbm.clear();
+        batch.rx_dbm.resize(n, 0.0);
+        batch.rx_mw.clear();
+        batch.rx_mw.resize(n, 0.0);
+        batch.sinr.clear();
+        batch.sinr.resize(n, 0.0);
+        batch.rate.clear();
+        batch.rate.resize(n, 0.0);
+
+        // Pass 1: attenuation = path loss + shadowing. The scalar chain
+        // computes `loss(d) + sample(ue, bs)` as one f64 addition; doing
+        // the loss and the shadowing in two passes performs the identical
+        // addition per lane. The approximate lane hoists the model match
+        // out of the loop and runs pure polynomial arithmetic inside it.
+        match self.mode {
+            BatchMode::Exact => {
+                for j in 0..n {
+                    batch.att[j] = self.config.path_loss.loss(Meters::new(batch.dist[j])).get();
+                }
+            }
+            BatchMode::Approx => {
+                use crate::PathLossModel;
+                const MIN_D: f64 = 1.0; // the path-loss module's clamp
+                match self.config.path_loss {
+                    PathLossModel::Icdcs2019 => {
+                        for j in 0..n {
+                            batch.att[j] =
+                                140.7 + 36.7 * fast_log10(batch.dist[j].max(MIN_D) / 1000.0);
+                        }
+                    }
+                    PathLossModel::LogDistance {
+                        ref_loss,
+                        ref_distance,
+                        exponent,
+                    } => {
+                        let d0 = ref_distance.get().max(MIN_D);
+                        for j in 0..n {
+                            batch.att[j] = ref_loss.get()
+                                + 10.0 * exponent * fast_log10(batch.dist[j].max(MIN_D) / d0);
+                        }
+                    }
+                    PathLossModel::FreeSpace { frequency } => {
+                        let f_term = 20.0 * frequency.get().log10() - 147.55;
+                        for j in 0..n {
+                            batch.att[j] = 20.0 * fast_log10(batch.dist[j].max(MIN_D)) + f_term;
+                        }
+                    }
+                    // `PathLossModel` is non-exhaustive: fall back to the
+                    // exact per-lane evaluation for models this kernel
+                    // has no fast lane for.
+                    #[allow(unreachable_patterns)]
+                    _ => {
+                        for j in 0..n {
+                            batch.att[j] =
+                                self.config.path_loss.loss(Meters::new(batch.dist[j])).get();
+                        }
+                    }
+                }
+            }
+        }
+        // Shadowing is deterministic integer hashing per endpoint pair —
+        // identical in both modes (its cost is not transcendental-bound).
+        for j in 0..n {
+            batch.att[j] += self.config.shadowing.sample(ue, batch.bs_pos[j]).get();
+        }
+
+        // Pass 2: received power in dBm (`Dbm::attenuate` is subtraction).
+        let tx = tx_power.get();
+        for j in 0..n {
+            batch.rx_dbm[j] = tx - batch.att[j];
+        }
+
+        // Pass 3: dBm → linear milliwatts (`Dbm::to_milliwatts`).
+        match self.mode {
+            BatchMode::Exact => {
+                for j in 0..n {
+                    batch.rx_mw[j] = 10f64.powf(batch.rx_dbm[j] / 10.0);
+                }
+            }
+            BatchMode::Approx => {
+                for j in 0..n {
+                    batch.rx_mw[j] = fast_pow10(batch.rx_dbm[j] / 10.0);
+                }
+            }
+        }
+
+        // Pass 4: SINR. The own-received-power term of the interference
+        // model equals this lane's rx_mw bit for bit (same inputs, same
+        // chain), so the scalar path's separate `rx_power_mw` call
+        // disappears. With a zero factor the scalar chain divides by
+        // `noise + 0.0`, which is `noise` for the positive floor.
+        if interference_factor > 0.0 {
+            for j in 0..n {
+                let interference =
+                    interference_factor * (batch.total_rx_mw[j] - batch.rx_mw[j]).max(0.0);
+                batch.sinr[j] = batch.rx_mw[j] / (self.noise_mw + interference);
+            }
+        } else {
+            for j in 0..n {
+                batch.sinr[j] = batch.rx_mw[j] / self.noise_mw;
+            }
+        }
+
+        // Pass 5: per-RRB Shannon rate (Eq. (2)).
+        let bw = self.config.rrb_bandwidth.get();
+        match self.mode {
+            BatchMode::Exact => {
+                for j in 0..n {
+                    batch.rate[j] = bw * (1.0 + batch.sinr[j]).log2();
+                }
+            }
+            BatchMode::Approx => {
+                for j in 0..n {
+                    batch.rate[j] = bw * fast_log2(1.0 + batch.sinr[j]);
+                }
+            }
         }
     }
 
@@ -288,6 +669,184 @@ mod tests {
             prop_assert!(n.as_f64() * rate.get() >= demand.get() - 1e-6);
             if n.get() > 0 {
                 prop_assert!((n.as_f64() - 1.0) * rate.get() < demand.get());
+            }
+        }
+    }
+
+    // ---- batched kernel ------------------------------------------------
+
+    /// Builds the evaluator variant `model_sel`/`shadowed` selects, so the
+    /// property tests sweep every path-loss model with and without
+    /// shadowing.
+    fn eval_variant(model_sel: u8, shadowed: bool) -> LinkEvaluator {
+        let mut cfg = RadioConfig::paper_defaults();
+        cfg.path_loss = match model_sel % 3 {
+            0 => crate::PathLossModel::Icdcs2019,
+            1 => crate::PathLossModel::LogDistance {
+                ref_loss: Db::new(60.0),
+                ref_distance: Meters::new(10.0),
+                exponent: 3.2,
+            },
+            _ => crate::PathLossModel::FreeSpace {
+                frequency: dmra_types::Hertz::from_mhz(2000.0),
+            },
+        };
+        if shadowed {
+            cfg.shadowing = crate::Shadowing::LogNormal {
+                std_dev: Db::new(8.0),
+                seed: 7,
+            };
+        }
+        // Pin the mode explicitly: `batch_mode_default_round_trips`
+        // briefly flips the process-wide default on a parallel thread.
+        LinkEvaluator::new(cfg).with_batch_mode(BatchMode::Exact)
+    }
+
+    /// Pushes the candidate lanes and returns, per lane, the interference
+    /// power the *scalar* chain would hand `evaluate_at_distance` — the
+    /// load-proportional model of the candidate scan.
+    fn fill_batch(
+        e: &LinkEvaluator,
+        tx: Dbm,
+        ue: Point,
+        candidates: &[(Point, f64)],
+        factor: f64,
+        batch: &mut LinkBatch,
+    ) -> Vec<f64> {
+        batch.clear();
+        let mut scalar_interference = Vec::with_capacity(candidates.len());
+        for (j, &(bs, total_mult)) in candidates.iter().enumerate() {
+            let own_rx = e.rx_power_mw(tx, ue, bs);
+            let total_rx = own_rx * total_mult;
+            batch.push(j as u32, bs, ue.distance(bs), total_rx);
+            scalar_interference.push(if factor > 0.0 {
+                factor * (total_rx - own_rx).max(0.0)
+            } else {
+                0.0
+            });
+        }
+        scalar_interference
+    }
+
+    #[test]
+    fn batch_on_empty_slice_is_a_noop() {
+        let e = eval();
+        let mut batch = LinkBatch::new();
+        e.evaluate_batch(Dbm::new(10.0), Point::new(5.0, 5.0), 0.0, &mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+    }
+
+    #[test]
+    fn batch_mode_default_round_trips() {
+        assert_eq!(batch_mode_default(), BatchMode::Exact);
+        set_batch_mode_default(BatchMode::Approx);
+        assert_eq!(batch_mode_default(), BatchMode::Approx);
+        assert_eq!(
+            LinkEvaluator::new(RadioConfig::paper_defaults()).batch_mode(),
+            BatchMode::Approx
+        );
+        set_batch_mode_default(BatchMode::Exact);
+        assert_eq!(batch_mode_default(), BatchMode::Exact);
+        let e = eval().with_batch_mode(BatchMode::Approx);
+        assert_eq!(e.batch_mode(), BatchMode::Approx);
+    }
+
+    #[test]
+    fn batch_exact_matches_scalar_below_min_distance_clamp() {
+        // The d→0 clamp: lanes closer than MIN_DISTANCE_M evaluate at the
+        // 1 m floor in both chains, bit for bit.
+        let ue = Point::new(100.0, 100.0);
+        let tx = Dbm::new(10.0);
+        for shadowed in [false, true] {
+            for model in 0..3u8 {
+                let e = eval_variant(model, shadowed);
+                let candidates: Vec<(Point, f64)> = [0.0, 0.1, 0.5, 0.999, 1.0, 1.5]
+                    .iter()
+                    .map(|&dx| (Point::new(100.0 + dx, 100.0), 1.0))
+                    .collect();
+                let mut batch = LinkBatch::new();
+                let interference = fill_batch(&e, tx, ue, &candidates, 0.0, &mut batch);
+                e.evaluate_batch(tx, ue, 0.0, &mut batch);
+                for (j, &(bs, _)) in candidates.iter().enumerate() {
+                    let scalar =
+                        e.evaluate_at_distance(tx, ue, bs, ue.distance(bs), interference[j]);
+                    assert_eq!(batch.metrics(j), scalar, "lane {j}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Tentpole invariant: under `BatchMode::Exact` every lane of the
+        /// batched kernel is **bit-identical** to the scalar
+        /// `evaluate_at_distance` chain — across path-loss models,
+        /// shadowing on/off, and zero/positive interference factors.
+        #[test]
+        fn prop_batch_exact_is_bit_identical_to_scalar(
+            offsets in prop::collection::vec((-1500.0f64..1500.0, -1500.0f64..1500.0), 1..40),
+            ue_x in 0.0f64..3000.0,
+            ue_y in 0.0f64..3000.0,
+            model_sel in 0u8..3,
+            shadowed in prop::bool::ANY,
+            with_interference in prop::bool::ANY,
+            factor in 0.01f64..1.0,
+            total_mult in 1.0f64..50.0,
+        ) {
+            let e = eval_variant(model_sel, shadowed);
+            let tx = Dbm::new(10.0);
+            let ue = Point::new(ue_x, ue_y);
+            let factor = if with_interference { factor } else { 0.0 };
+            let candidates: Vec<(Point, f64)> = offsets
+                .iter()
+                .map(|&(dx, dy)| (Point::new(ue_x + dx, ue_y + dy), total_mult))
+                .collect();
+            let mut batch = LinkBatch::new();
+            let interference = fill_batch(&e, tx, ue, &candidates, factor, &mut batch);
+            e.evaluate_batch(tx, ue, factor, &mut batch);
+            prop_assert_eq!(batch.len(), candidates.len());
+            for (j, &(bs, _)) in candidates.iter().enumerate() {
+                let scalar = e.evaluate_at_distance(tx, ue, bs, ue.distance(bs), interference[j]);
+                let batched = batch.metrics(j);
+                // Bitwise, not approximate: `LinkMetrics` equality is f64
+                // equality in every field, and the fields must match to
+                // the last bit for the cached/batched paths to be
+                // indistinguishable from the scalar build.
+                prop_assert_eq!(batched, scalar, "lane {}", j);
+                prop_assert_eq!(batch.tag(j), j as u32);
+            }
+        }
+
+        /// The opt-in approximate lane agrees with the scalar chain to
+        /// tight relative error (the polynomial helpers are good to
+        /// ≲1e−12; 1e−9 leaves slack for cancellation in the SINR chain).
+        #[test]
+        fn prop_batch_approx_is_close_to_scalar(
+            offsets in prop::collection::vec((-1500.0f64..1500.0, -1500.0f64..1500.0), 1..40),
+            model_sel in 0u8..3,
+            shadowed in prop::bool::ANY,
+            factor in 0.0f64..1.0,
+        ) {
+            let e = eval_variant(model_sel, shadowed).with_batch_mode(BatchMode::Approx);
+            let tx = Dbm::new(10.0);
+            let ue = Point::new(1500.0, 1500.0);
+            let candidates: Vec<(Point, f64)> = offsets
+                .iter()
+                .map(|&(dx, dy)| (Point::new(1500.0 + dx, 1500.0 + dy), 8.0))
+                .collect();
+            let mut batch = LinkBatch::new();
+            let interference = fill_batch(&e, tx, ue, &candidates, factor, &mut batch);
+            e.evaluate_batch(tx, ue, factor, &mut batch);
+            for (j, &(bs, _)) in candidates.iter().enumerate() {
+                let scalar = e.evaluate_at_distance(tx, ue, bs, ue.distance(bs), interference[j]);
+                let batched = batch.metrics(j);
+                let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+                prop_assert!(rel(batched.attenuation.get(), scalar.attenuation.get()) < 1e-9);
+                prop_assert!(rel(batched.sinr_linear, scalar.sinr_linear) < 1e-9);
+                prop_assert!(
+                    rel(batched.per_rrb_rate.get(), scalar.per_rrb_rate.get()) < 1e-9,
+                    "rate {} vs {}", batched.per_rrb_rate.get(), scalar.per_rrb_rate.get()
+                );
             }
         }
     }

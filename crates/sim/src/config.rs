@@ -77,24 +77,48 @@ pub enum ServicePopularity {
 }
 
 impl ServicePopularity {
-    /// Draws a service index from `0..n_services`.
-    fn draw<R: Rng>(self, n_services: u32, rng: &mut R) -> u32 {
+    /// Builds the reusable sampler for this distribution: the Zipf weight
+    /// table depends only on `(n_services, exponent)`, so it is computed
+    /// once per scenario build instead of once per UE draw. Each
+    /// [`ServiceSampler::draw`] consumes exactly one RNG value, matching
+    /// the naive per-draw implementation stream-for-stream.
+    fn sampler(self, n_services: u32) -> ServiceSampler {
         match self {
-            ServicePopularity::Uniform => rng.random_range(0..n_services),
+            ServicePopularity::Uniform => ServiceSampler::Uniform { n: n_services },
             ServicePopularity::Zipf { exponent } => {
-                // Inverse-CDF over the (small) finite support.
                 let weights: Vec<f64> = (1..=n_services)
                     .map(|r| 1.0 / f64::from(r).powf(exponent))
                     .collect();
                 let total: f64 = weights.iter().sum();
-                let mut draw = rng.random_range(0.0..total);
+                ServiceSampler::Weighted { weights, total }
+            }
+        }
+    }
+}
+
+/// Precomputed service-popularity sampler (see
+/// [`ServicePopularity::sampler`]).
+#[derive(Debug, Clone)]
+enum ServiceSampler {
+    Uniform { n: u32 },
+    Weighted { weights: Vec<f64>, total: f64 },
+}
+
+impl ServiceSampler {
+    /// Draws a service index from `0..n_services`.
+    fn draw<R: Rng>(&self, rng: &mut R) -> u32 {
+        match self {
+            ServiceSampler::Uniform { n } => rng.random_range(0..*n),
+            ServiceSampler::Weighted { weights, total } => {
+                // Inverse-CDF over the (small) finite support.
+                let mut draw = rng.random_range(0.0..*total);
                 for (idx, w) in weights.iter().enumerate() {
                     if draw < *w {
                         return idx as u32;
                     }
                     draw -= w;
                 }
-                n_services - 1
+                weights.len() as u32 - 1
             }
         }
     }
@@ -489,6 +513,7 @@ impl ScenarioConfig {
         let mut workload_rng = component_rng(self.seed, "ue-workload");
         let (dlo, dhi) = self.cru_demand_range;
         let (rlo, rhi) = self.rate_demand_mbps;
+        let service_sampler = self.service_popularity.sampler(self.n_services);
         let ues: Vec<UeSpec> = positions
             .into_iter()
             .enumerate()
@@ -497,10 +522,7 @@ impl ScenarioConfig {
                     UeId::new(u as u32),
                     SpId::new(workload_rng.random_range(0..self.n_sps)),
                     pos,
-                    ServiceId::new(
-                        self.service_popularity
-                            .draw(self.n_services, &mut workload_rng),
-                    ),
+                    ServiceId::new(service_sampler.draw(&mut workload_rng)),
                     Cru::new(workload_rng.random_range(dlo..=dhi)),
                     BitsPerSec::from_mbps(workload_rng.random_range(rlo..=rhi)),
                     self.ue_tx_power,
@@ -819,6 +841,49 @@ mod tests {
                 (880..=1120).contains(&c),
                 "service {svc} drawn {c} times, expected about 1000"
             );
+        }
+    }
+
+    #[test]
+    fn hoisted_service_sampler_preserves_the_draw_stream() {
+        // The precomputed sampler must consume exactly one RNG value per
+        // draw and return the same service as the naive implementation
+        // that rebuilds the Zipf weight table on every call — otherwise
+        // hoisting it out of the UE loop would silently reseed every
+        // workload downstream of a scenario build.
+        use dmra_geo::rng::component_rng;
+        use rand::rngs::StdRng;
+        let naive_draw = |n_services: u32, exponent: f64, rng: &mut StdRng| -> u32 {
+            let weights: Vec<f64> = (1..=n_services)
+                .map(|r| 1.0 / f64::from(r).powf(exponent))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut draw = rng.random_range(0.0..total);
+            for (idx, w) in weights.iter().enumerate() {
+                if draw < *w {
+                    return idx as u32;
+                }
+                draw -= w;
+            }
+            n_services - 1
+        };
+        for popularity in [
+            ServicePopularity::Uniform,
+            ServicePopularity::Zipf { exponent: 0.0 },
+            ServicePopularity::Zipf { exponent: 0.9 },
+            ServicePopularity::Zipf { exponent: 2.5 },
+        ] {
+            let sampler = popularity.sampler(6);
+            let mut rng_a = component_rng(11, "ue-workload");
+            let mut rng_b = component_rng(11, "ue-workload");
+            for i in 0..500 {
+                let fast = sampler.draw(&mut rng_a);
+                let slow = match popularity {
+                    ServicePopularity::Uniform => rng_b.random_range(0..6),
+                    ServicePopularity::Zipf { exponent } => naive_draw(6, exponent, &mut rng_b),
+                };
+                assert_eq!(fast, slow, "draw {i} diverged under {popularity:?}");
+            }
         }
     }
 

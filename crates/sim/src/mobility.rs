@@ -5,10 +5,24 @@
 //! candidate sets drift, and the allocation must be recomputed. This
 //! module simulates a fixed population of UEs with persistent tasks moving
 //! under a **random-waypoint** model; each epoch the whole batch is
-//! re-matched by DMRA (the paper's algorithm is cheap enough to rerun —
+//! re-matched (the paper's algorithm is cheap enough to rerun —
 //! Section V's "recalculating the preference relationship … during each
 //! iteration"), and we track *handovers* (serving-BS changes), *drops*
 //! (served → cloud) and *recoveries* (cloud → served).
+//!
+//! Two engines produce bit-identical outcomes
+//! (`tests/mobility_incremental.rs` pins the equality across policies,
+//! seeds, allocators and thread counts):
+//!
+//! * [`MobilitySimulator::run`] — the fast path: one epoch-persistent
+//!   [`DeploymentContext`] with the cross-epoch row cache enabled, so a
+//!   UE that did not move between epochs (the `stationary_fraction`
+//!   population, or any UE whose waypoint run left it in place) reuses
+//!   its candidate row verbatim, and moved UEs re-evaluate only their
+//!   pruned candidate slice through the batched link kernel;
+//! * [`MobilitySimulator::run_scratch`] — the executable specification:
+//!   a full exhaustive-scan [`ProblemInstance`] rebuild every epoch,
+//!   exactly the O(U×B) loop the paper describes.
 //!
 //! # Examples
 //!
@@ -23,6 +37,7 @@
 //!     epochs: 5,
 //!     seed: 3,
 //!     policy: MobilityPolicy::FullReallocation,
+//!     stationary_fraction: 0.0,
 //! };
 //! let outcome = MobilitySimulator::new(config).run()?;
 //! assert_eq!(outcome.served_timeline.len(), 5);
@@ -30,18 +45,20 @@
 //! ```
 
 use crate::config::ScenarioConfig;
-use dmra_core::{Allocation, Allocator, Dmra, ProblemInstance};
+use dmra_core::{
+    Allocation, Allocator, CandidateScan, DeploymentContext, Dmra, ProblemInstance, Threads,
+};
 use dmra_geo::rng::component_rng;
-use dmra_types::{Cru, Money, Point, Rect, Result, RrbCount, UeId, UeSpec};
+use dmra_types::{Cru, Error, Money, Point, Rect, Result, RrbCount, UeId, UeSpec};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// How the allocation is recomputed as UEs move.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MobilityPolicy {
-    /// Re-run DMRA on the whole population every epoch — the paper's
-    /// "recalculate the preference relationship during each iteration"
-    /// reading. Maximises profit, pays the full handover churn.
+    /// Re-run the allocator on the whole population every epoch — the
+    /// paper's "recalculate the preference relationship during each
+    /// iteration" reading. Maximises profit, pays the full handover churn.
     #[default]
     FullReallocation,
     /// Keep every existing assignment whose link is still feasible (the UE
@@ -68,6 +85,12 @@ pub struct MobilityConfig {
     pub seed: u64,
     /// Reallocation policy.
     pub policy: MobilityPolicy,
+    /// Fraction of the population pinned in place (speed forced to zero;
+    /// must be in `[0, 1]`). Models the static-majority regime of real
+    /// cells — and the regime the cross-epoch row cache accelerates.
+    /// Speeds are zeroed *after* all kinematics are drawn, so turning the
+    /// knob never perturbs the mobile UEs' random streams.
+    pub stationary_fraction: f64,
 }
 
 /// Aggregate results of a mobility run.
@@ -105,55 +128,129 @@ struct Kinematics {
 }
 
 /// The mobility simulator.
-#[derive(Debug)]
 pub struct MobilitySimulator {
     config: MobilityConfig,
+    allocator: Box<dyn Allocator>,
+}
+
+impl std::fmt::Debug for MobilitySimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobilitySimulator")
+            .field("config", &self.config)
+            .field("allocator", &self.allocator.name())
+            .finish()
+    }
 }
 
 impl MobilitySimulator {
-    /// Creates a simulator.
+    /// Creates a simulator matching with DMRA.
     #[must_use]
     pub fn new(config: MobilityConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            allocator: Box::new(Dmra::default()),
+        }
     }
 
-    /// Runs the simulation.
+    /// Replaces the per-epoch matcher (default: [`Dmra`]). Both engines
+    /// drive the allocator through one [`Allocator::session`] per run.
+    #[must_use]
+    pub fn with_allocator(mut self, allocator: Box<dyn Allocator>) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Runs the simulation on the incremental engine: one epoch-persistent
+    /// [`DeploymentContext`] with the cross-epoch row cache, batched link
+    /// evaluation over pruned candidate slices, and (for ≥1024-UE
+    /// populations) a parallel per-epoch row rebuild.
+    ///
+    /// Bit-identical to [`MobilitySimulator::run_scratch`] — same
+    /// allocations, same timelines, same counters.
     ///
     /// # Errors
     ///
-    /// Propagates scenario/instance build errors.
+    /// Propagates scenario/instance build errors, and rejects a
+    /// `stationary_fraction` outside `[0, 1]`.
     pub fn run(&self) -> Result<MobilityOutcome> {
         let cfg = &self.config;
-        // Initial population from the scenario generator.
         let initial = cfg.scenario.clone().build()?;
         let mut ues: Vec<UeSpec> = initial.ues().to_vec();
         let region = cfg.scenario.region;
         let mut rng = component_rng(cfg.seed, "mobility");
-        let (slo, shi) = cfg.speed_mps;
-        let mut kin: Vec<Kinematics> = ues
-            .iter()
-            .map(|_| Kinematics {
-                waypoint: random_point(region, &mut rng),
-                speed: if shi > slo {
-                    rng.random_range(slo..=shi)
-                } else {
-                    slo
-                },
-            })
-            .collect();
+        let mut kin = draw_kinematics(cfg, ues.len(), region, &mut rng)?;
 
-        let dmra = Dmra::default();
+        // The population never departs, so every epoch re-matches against
+        // the full budgets; the row cache sees identical budgets each
+        // epoch and invalidates only on the first one.
+        let full_cru: Vec<Vec<Cru>> = initial.bss().iter().map(|b| b.cru_budget.clone()).collect();
+        let full_rrb: Vec<RrbCount> = initial.bss().iter().map(|b| b.rrb_budget).collect();
+        let mut ctx = DeploymentContext::new(&initial).with_row_cache();
+        // Sticky re-matching solves against churning residual budgets, so
+        // its context gets no cache — it still reuses buffers and the
+        // batched kernel.
+        let mut res_ctx = DeploymentContext::new(&initial);
+        let mut session = self.allocator.session();
+
         let mut previous: Option<Allocation> = None;
-        let mut outcome = MobilityOutcome {
-            handovers: 0,
-            drops: 0,
-            recoveries: 0,
-            served_timeline: Vec::with_capacity(cfg.epochs),
-            profit_timeline: Vec::with_capacity(cfg.epochs),
-        };
-
+        let mut outcome = empty_outcome(cfg.epochs);
         for _epoch in 0..cfg.epochs {
-            let instance = ProblemInstance::build(
+            let instance = ctx.epoch_instance(&full_cru, &full_rrb, ues.clone())?;
+            let allocation = match (cfg.policy, &previous) {
+                (MobilityPolicy::Sticky, Some(prev)) => {
+                    let split = sticky_split(instance, prev);
+                    match split.residual_ues(instance) {
+                        None => split.kept,
+                        Some(res_ues) => {
+                            let residual =
+                                res_ctx.epoch_instance(&split.rem_cru, &split.rem_rrb, res_ues)?;
+                            split.merge(session.allocate(residual))
+                        }
+                    }
+                }
+                _ => session.allocate(instance),
+            };
+            debug_assert!(allocation.validate(instance).is_ok());
+            account_epoch(&mut outcome, instance, &allocation, previous.as_ref());
+            previous = Some(allocation);
+            advance_waypoints(&mut ues, &mut kin, region, cfg.epoch_seconds, &mut rng);
+        }
+        Ok(outcome)
+    }
+
+    /// Runs the simulation on the executable-specification engine: a full
+    /// [`ProblemInstance`] rebuild per epoch with the exhaustive O(U×B)
+    /// candidate scan and the scalar link evaluator — no pruning, no
+    /// batching, no caching. This is the loop [`MobilitySimulator::run`]
+    /// is proven against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MobilitySimulator::run`].
+    pub fn run_scratch(&self) -> Result<MobilityOutcome> {
+        self.run_scratch_with_threads(Threads::Auto)
+    }
+
+    /// [`MobilitySimulator::run_scratch`] with an explicit thread-count
+    /// knob for the per-epoch instance builds — the equality tests sweep
+    /// it to prove thread-count independence.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MobilitySimulator::run`].
+    pub fn run_scratch_with_threads(&self, threads: Threads) -> Result<MobilityOutcome> {
+        let cfg = &self.config;
+        let initial = cfg.scenario.clone().build()?;
+        let mut ues: Vec<UeSpec> = initial.ues().to_vec();
+        let region = cfg.scenario.region;
+        let mut rng = component_rng(cfg.seed, "mobility");
+        let mut kin = draw_kinematics(cfg, ues.len(), region, &mut rng)?;
+
+        let mut session = self.allocator.session();
+        let mut previous: Option<Allocation> = None;
+        let mut outcome = empty_outcome(cfg.epochs);
+        for _epoch in 0..cfg.epochs {
+            let instance = ProblemInstance::build_with_scan(
                 initial.sps().to_vec(),
                 initial.bss().to_vec(),
                 ues.clone(),
@@ -161,62 +258,180 @@ impl MobilitySimulator {
                 *initial.pricing(),
                 *initial.radio(),
                 initial.coverage(),
+                threads,
+                CandidateScan::Exhaustive,
             )?;
             let allocation = match (cfg.policy, &previous) {
-                (MobilityPolicy::Sticky, Some(prev)) => sticky_reallocate(&instance, prev, &dmra)?,
-                _ => dmra.allocate(&instance),
+                (MobilityPolicy::Sticky, Some(prev)) => {
+                    let split = sticky_split(&instance, prev);
+                    match split.residual_ues(&instance) {
+                        None => split.kept,
+                        Some(res_ues) => {
+                            let residual = instance.residual_with(
+                                &split.rem_cru,
+                                &split.rem_rrb,
+                                res_ues,
+                                threads,
+                                CandidateScan::Exhaustive,
+                            )?;
+                            split.merge(session.allocate(&residual))
+                        }
+                    }
+                }
+                _ => session.allocate(&instance),
             };
             debug_assert!(allocation.validate(&instance).is_ok());
-            outcome.served_timeline.push(allocation.edge_served());
-            outcome
-                .profit_timeline
-                .push(instance.total_profit(&allocation));
-            if let Some(prev) = &previous {
-                for ue in instance.ues() {
-                    match (prev.bs_of(ue.id), allocation.bs_of(ue.id)) {
-                        (Some(a), Some(b)) if a != b => outcome.handovers += 1,
-                        (Some(_), None) => outcome.drops += 1,
-                        (None, Some(_)) => outcome.recoveries += 1,
-                        _ => {}
-                    }
-                }
-            }
+            account_epoch(&mut outcome, &instance, &allocation, previous.as_ref());
             previous = Some(allocation);
-
-            // Advance the random-waypoint kinematics.
-            for (ue, k) in ues.iter_mut().zip(kin.iter_mut()) {
-                let mut budget = k.speed * cfg.epoch_seconds;
-                while budget > 0.0 {
-                    let to_target = ue.position.distance(k.waypoint).get();
-                    if to_target <= budget {
-                        ue.position = k.waypoint;
-                        budget -= to_target;
-                        k.waypoint = random_point(region, &mut rng);
-                        if to_target == 0.0 {
-                            break;
-                        }
-                    } else {
-                        let frac = budget / to_target;
-                        ue.position = Point::new(
-                            ue.position.x + (k.waypoint.x - ue.position.x) * frac,
-                            ue.position.y + (k.waypoint.y - ue.position.y) * frac,
-                        );
-                        budget = 0.0;
-                    }
-                }
-            }
+            advance_waypoints(&mut ues, &mut kin, region, cfg.epoch_seconds, &mut rng);
         }
         Ok(outcome)
     }
 }
 
-/// Keeps feasible previous assignments, re-matching only the broken ones
-/// against the residual capacities.
-fn sticky_reallocate(
+fn empty_outcome(epochs: usize) -> MobilityOutcome {
+    MobilityOutcome {
+        handovers: 0,
+        drops: 0,
+        recoveries: 0,
+        served_timeline: Vec::with_capacity(epochs),
+        profit_timeline: Vec::with_capacity(epochs),
+    }
+}
+
+/// Draws every UE's waypoint and speed, then pins the first
+/// `⌊stationary_fraction · n⌋` UEs in place. Zeroing after drawing keeps
+/// the RNG stream identical for every fraction, so the mobile UEs'
+/// trajectories never depend on how many neighbours are pinned.
+fn draw_kinematics(
+    cfg: &MobilityConfig,
+    n_ues: usize,
+    region: Rect,
+    rng: &mut StdRng,
+) -> Result<Vec<Kinematics>> {
+    let f = cfg.stationary_fraction;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(Error::InvalidConfig(format!(
+            "stationary fraction must be in [0, 1], got {f}"
+        )));
+    }
+    let (slo, shi) = cfg.speed_mps;
+    let mut kin: Vec<Kinematics> = (0..n_ues)
+        .map(|_| Kinematics {
+            waypoint: random_point(region, rng),
+            speed: if shi > slo {
+                rng.random_range(slo..=shi)
+            } else {
+                slo
+            },
+        })
+        .collect();
+    let pinned = (f * n_ues as f64).floor() as usize;
+    for k in kin.iter_mut().take(pinned.min(n_ues)) {
+        k.speed = 0.0;
+    }
+    Ok(kin)
+}
+
+/// Advances the random-waypoint kinematics by one epoch. Pinned UEs
+/// (speed zero) consume no RNG draws, so their cached candidate rows stay
+/// valid epoch after epoch.
+fn advance_waypoints(
+    ues: &mut [UeSpec],
+    kin: &mut [Kinematics],
+    region: Rect,
+    epoch_seconds: f64,
+    rng: &mut StdRng,
+) {
+    for (ue, k) in ues.iter_mut().zip(kin.iter_mut()) {
+        let mut budget = k.speed * epoch_seconds;
+        while budget > 0.0 {
+            let to_target = ue.position.distance(k.waypoint).get();
+            if to_target <= budget {
+                ue.position = k.waypoint;
+                budget -= to_target;
+                k.waypoint = random_point(region, rng);
+                if to_target == 0.0 {
+                    break;
+                }
+            } else {
+                let frac = budget / to_target;
+                ue.position = Point::new(
+                    ue.position.x + (k.waypoint.x - ue.position.x) * frac,
+                    ue.position.y + (k.waypoint.y - ue.position.y) * frac,
+                );
+                budget = 0.0;
+            }
+        }
+    }
+}
+
+/// Updates the outcome counters and timelines with one epoch's allocation.
+fn account_epoch(
+    outcome: &mut MobilityOutcome,
     instance: &ProblemInstance,
-    previous: &Allocation,
-    matcher: &Dmra,
-) -> Result<Allocation> {
+    allocation: &Allocation,
+    previous: Option<&Allocation>,
+) {
+    outcome.served_timeline.push(allocation.edge_served());
+    outcome
+        .profit_timeline
+        .push(instance.total_profit(allocation));
+    if let Some(prev) = previous {
+        for ue in instance.ues() {
+            match (prev.bs_of(ue.id), allocation.bs_of(ue.id)) {
+                (Some(a), Some(b)) if a != b => outcome.handovers += 1,
+                (Some(_), None) => outcome.drops += 1,
+                (None, Some(_)) => outcome.recoveries += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The sticky policy's split of one epoch: kept assignments, leftover
+/// budgets and the UEs that need re-matching.
+struct StickySplit {
+    kept: Allocation,
+    rem_cru: Vec<Vec<Cru>>,
+    rem_rrb: Vec<RrbCount>,
+    rematch: Vec<UeId>,
+}
+
+impl StickySplit {
+    /// The broken UEs renumbered densely for the residual solve, or
+    /// `None` when every assignment was kept.
+    fn residual_ues(&self, instance: &ProblemInstance) -> Option<Vec<UeSpec>> {
+        if self.rematch.is_empty() {
+            return None;
+        }
+        Some(
+            self.rematch
+                .iter()
+                .enumerate()
+                .map(|(new_id, &old)| {
+                    let mut spec = instance.ues()[old.as_usize()];
+                    spec.id = UeId::new(new_id as u32);
+                    spec
+                })
+                .collect(),
+        )
+    }
+
+    /// Folds the residual solve's assignments back onto the original ids.
+    fn merge(mut self, residual_alloc: Allocation) -> Allocation {
+        for (new_id, &old) in self.rematch.iter().enumerate() {
+            if let Some(bs) = residual_alloc.bs_of(UeId::new(new_id as u32)) {
+                self.kept.assign(old, bs);
+            }
+        }
+        self.kept
+    }
+}
+
+/// Keeps every feasible previous assignment (deducting its budgets) and
+/// collects the broken UEs for re-matching.
+fn sticky_split(instance: &ProblemInstance, previous: &Allocation) -> StickySplit {
     let mut rem_cru: Vec<Vec<Cru>> = instance
         .bss()
         .iter()
@@ -245,28 +460,12 @@ fn sticky_reallocate(
             rematch.push(ue.id);
         }
     }
-    if rematch.is_empty() {
-        return Ok(kept);
+    StickySplit {
+        kept,
+        rem_cru,
+        rem_rrb,
+        rematch,
     }
-    // Residual instance: the broken UEs (renumbered densely) against the
-    // leftover capacities.
-    let residual_ues: Vec<UeSpec> = rematch
-        .iter()
-        .enumerate()
-        .map(|(new_id, &old)| {
-            let mut spec = instance.ues()[old.as_usize()];
-            spec.id = UeId::new(new_id as u32);
-            spec
-        })
-        .collect();
-    let residual = instance.residual(&rem_cru, &rem_rrb, residual_ues)?;
-    let residual_alloc = matcher.allocate(&residual);
-    for (new_id, &old) in rematch.iter().enumerate() {
-        if let Some(bs) = residual_alloc.bs_of(UeId::new(new_id as u32)) {
-            kept.assign(old, bs);
-        }
-    }
-    Ok(kept)
 }
 
 fn random_point(region: Rect, rng: &mut StdRng) -> Point {
@@ -288,6 +487,7 @@ mod tests {
             epochs,
             seed,
             policy: MobilityPolicy::FullReallocation,
+            stationary_fraction: 0.0,
         }
     }
 
@@ -313,6 +513,26 @@ mod tests {
         // The allocation is identical each epoch (deterministic matcher on
         // identical input), so the timeline is flat.
         assert!(out.served_timeline.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stationary_fraction_pins_ues_without_perturbing_the_rest() {
+        // A fully-stationary run behaves like a zero-speed run, and an
+        // out-of-range fraction is rejected up front.
+        let mut cfg = config((5.0, 10.0), 6, 9);
+        cfg.stationary_fraction = 1.0;
+        let pinned = MobilitySimulator::new(cfg.clone()).run().unwrap();
+        assert_eq!(pinned.handovers, 0);
+        assert_eq!(pinned.drops, 0);
+        cfg.stationary_fraction = 0.5;
+        let half = MobilitySimulator::new(cfg.clone()).run().unwrap();
+        let mut free = cfg.clone();
+        free.stationary_fraction = 0.0;
+        let free = MobilitySimulator::new(free).run().unwrap();
+        // Pinning half the population cannot increase mobility churn.
+        assert!(half.handovers + half.drops <= free.handovers + free.drops);
+        cfg.stationary_fraction = 1.5;
+        assert!(MobilitySimulator::new(cfg).run().is_err());
     }
 
     #[test]
@@ -395,5 +615,18 @@ mod tests {
             min,
             max
         );
+    }
+
+    #[test]
+    fn scratch_engine_matches_incremental_at_unit_scale() {
+        // The cross-engine sweep lives in tests/mobility_incremental.rs;
+        // this is the fast in-crate smoke for both policies.
+        for policy in [MobilityPolicy::FullReallocation, MobilityPolicy::Sticky] {
+            let mut cfg = config((8.0, 16.0), 5, 11);
+            cfg.policy = policy;
+            cfg.stationary_fraction = 0.4;
+            let sim = MobilitySimulator::new(cfg);
+            assert_eq!(sim.run().unwrap(), sim.run_scratch().unwrap());
+        }
     }
 }

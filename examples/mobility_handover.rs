@@ -35,6 +35,7 @@ fn main() -> Result<(), dmra::types::Error> {
                 epochs: 20,
                 seed: 77,
                 policy,
+                stationary_fraction: 0.0,
             })
             .run()?;
             let mean_profit = out.profit_timeline.iter().map(|p| p.get()).sum::<f64>()

@@ -4,15 +4,19 @@
 # BENCH_sweep.json and BENCH_dynamic.json at the workspace root, the
 # event-engine gate that writes BENCH_dynamic_event.json (fails when the
 # event engine's low-load speedup over the epoch loop drops below its
-# bound — 5x by default, see DMRA_EVENT_SPEEDUP_MIN), and the telemetry
-# overhead gate that writes BENCH_obs_overhead.json (fails when enabling
-# telemetry costs more than its bound — 2% by default, see
-# DMRA_OBS_OVERHEAD_BOUND_PCT). Extra arguments are forwarded to
-# `cargo bench` (e.g. a bench name filter).
+# bound — 5x by default, see DMRA_EVENT_SPEEDUP_MIN), the link-batch
+# gate that writes BENCH_linkbatch.json (fails when the batched kernel /
+# row-cached mobility loop drops below its bound — 1.5x by default, see
+# DMRA_LINKBATCH_SPEEDUP_MIN), and the telemetry overhead gate that
+# writes BENCH_obs_overhead.json (fails when enabling telemetry costs
+# more than its bound — 2% by default, see DMRA_OBS_OVERHEAD_BOUND_PCT).
+# Extra arguments are forwarded to `cargo bench` (e.g. a bench name
+# filter).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench -p dmra-bench "$@"
 cargo run --release -p dmra-bench --bin figures -- bench
 cargo run --release -p dmra-bench --bin figures -- bench_event
+cargo run --release -p dmra-bench --bin figures -- bench_linkbatch
 cargo run --release -p dmra-bench --bin figures -- obs_overhead

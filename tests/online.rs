@@ -54,6 +54,7 @@ fn mobility_policies_agree_when_nothing_moves() {
         epochs: 6,
         seed: 2,
         policy: MobilityPolicy::FullReallocation,
+        stationary_fraction: 0.0,
     };
     let full = MobilitySimulator::new(base.clone()).run().unwrap();
     let sticky = MobilitySimulator::new(MobilityConfig {
@@ -78,6 +79,7 @@ fn mobility_served_count_is_stable_under_churn() {
         epochs: 15,
         seed: 3,
         policy: MobilityPolicy::FullReallocation,
+        stationary_fraction: 0.0,
     })
     .run()
     .unwrap();
