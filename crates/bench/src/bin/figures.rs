@@ -18,18 +18,23 @@
 //! breakdown. The `bench_event` job times the event-driven engine
 //! against both fixed-epoch loops on a low-load long-horizon workload,
 //! writes `BENCH_dynamic_event.json`, and fails when the speedup falls
-//! below its gate. The `obs_overhead` job measures the telemetry-enabled
-//! vs -disabled dynamic simulation and writes `BENCH_obs_overhead.json`,
-//! failing when the overhead exceeds its bound.
+//! below its gate. The `bench_shard` job exercises the region-sharded
+//! runtime: bit-identical outcomes across shard grids at paper scale, a
+//! shard-count scaling curve on the wide-area grid (gated on hosts with
+//! enough hardware threads), and a sustained run past one million
+//! concurrent in-service tasks, written to `BENCH_shard.json`. The
+//! `obs_overhead` job measures the telemetry-enabled vs -disabled
+//! dynamic simulation and writes `BENCH_obs_overhead.json`, failing when
+//! the overhead exceeds its bound.
 
 use dmra_baselines::{Dcsp, NonCo};
 use dmra_bench::bench_instance;
-use dmra_core::{Allocator, Dmra, Threads};
+use dmra_core::{Allocator, DeploymentContext, Dmra, Threads};
 use dmra_obs::{obs_error, obs_info, Level};
 use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra_sim::experiments::{self, ExperimentOptions};
 use dmra_sim::{BsPlacement, ScenarioConfig, SweepRunner, Table};
-use dmra_types::{Meters, Rect};
+use dmra_types::{Cru, Hertz, Meters, Rect, RrbCount};
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
@@ -84,6 +89,10 @@ fn main() {
         }
         if job == "bench_linkbatch" {
             bench_linkbatch_mode();
+            continue;
+        }
+        if job == "bench_shard" {
+            bench_shard_mode();
             continue;
         }
         if job == "obs_overhead" {
@@ -217,13 +226,19 @@ fn bench_mode() {
         ));
     }
 
+    // -- Row cache under single-BS budget churn (per-BS stamps). --
+    let (cache_hits, cache_misses, cache_hit_rate) = row_cache_churn();
+
     let json = format!(
         "{{\n  \"hardware_threads\": {available},\n  \"sweep\": {{\n    \
          \"title\": \"profit sweep, {} points x {replications} replications x {} algorithms\",\n    \
          \"ue_counts\": {ue_counts:?},\n    \"serial_secs\": {serial_secs:.4},\n    \
          \"threaded\": [\n{sweep_rows}\n    ]\n  }},\n  \"instance_build\": {{\n    \
          \"runs\": [\n{build_rows}\n    ]\n  }},\n  \"dmra_solve\": {{\n    \
-         \"runs\": [\n{solve_rows}\n    ]\n  }}\n}}\n",
+         \"runs\": [\n{solve_rows}\n    ]\n  }},\n  \"row_cache_churn\": {{\n    \
+         \"n_ues\": 2000, \"epochs\": 40, \"churned_bss_per_epoch\": 1,\n    \
+         \"hits\": {cache_hits}, \"misses\": {cache_misses}, \
+         \"hit_rate\": {cache_hit_rate:.4}\n  }}\n}}\n",
         points.len(),
         algos.len(),
     );
@@ -232,6 +247,54 @@ fn bench_mode() {
 
     bench_dynamic();
     per_phase_breakdown();
+}
+
+/// Measures the cross-epoch row cache on a stationary population whose
+/// remaining budgets change at exactly one BS per epoch.
+///
+/// This is the regime the per-BS budget stamps exist for: a single
+/// global budget stamp would flush the whole cache on every epoch (0%
+/// hits after warm-up), while per-BS stamps re-price only the rows whose
+/// consulted-BS sets touch the churned site — every other row is served
+/// from cache. Returns `(hits, misses, hit_rate)` for `BENCH_sweep.json`.
+fn row_cache_churn() -> (u64, u64, f64) {
+    let deployment = ScenarioConfig::paper_defaults()
+        .with_ues(2000)
+        .with_seed(7)
+        .build()
+        .expect("paper deployment builds");
+    let mut ctx = DeploymentContext::new(&deployment).with_row_cache();
+    let mut cru: Vec<Vec<Cru>> = deployment
+        .bss()
+        .iter()
+        .map(|b| b.cru_budget.clone())
+        .collect();
+    let full_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+    let ues = deployment.ues().to_vec();
+    let epochs = 40usize;
+    for epoch in 0..epochs {
+        // Drain one CRU from a cycling BS: each epoch exactly one BS's
+        // budget differs from the stamps taken last epoch. Budgets start
+        // at 100–150 and the cycle visits each BS at most twice, so the
+        // drain never saturates into a no-op.
+        let bs = epoch % cru.len();
+        cru[bs][0] = cru[bs][0].saturating_sub(Cru::new(1));
+        ctx.epoch_instance(&cru, &full_rrb, ues.clone())
+            .expect("churn epoch builds");
+    }
+    let (hits, misses) = ctx.row_cache_stats().expect("row cache is enabled");
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    obs_info!(
+        "row cache, single-BS budget churn (2000 stationary UEs, {epochs} epochs): \
+         {hits} hits, {misses} misses ({:.1}% hit rate; a global budget \
+         stamp would miss every row after each churn)",
+        hit_rate * 100.0
+    );
+    (hits, misses, hit_rate)
 }
 
 /// Runs one instrumented dynamic simulation and prints the telemetry
@@ -592,6 +655,200 @@ fn bench_linkbatch_mode() {
     obs_info!("wrote BENCH_linkbatch.json");
     if !all_gates_pass {
         obs_error!("link-batch speedup fell below the {min_speedup}x bound");
+        std::process::exit(1);
+    }
+}
+
+/// Benchmarks the region-sharded deployment runtime and writes
+/// `BENCH_shard.json`.
+///
+/// Three sections:
+///
+/// 1. **Equality at paper scale** — `run_sharded` on the 1×1, 2×1, 2×2
+///    and 3×3 grids must reproduce the unsharded incremental outcome
+///    bit-identically. This gate is unconditional and runs before any
+///    timing, so the scaling figures can never be bought with a
+///    behaviour change.
+/// 2. **Shard-count scaling curve** — best-of-3 wall times for shard
+///    counts {1, 2, 4, 9} on the 10 × 10-site wide-area grid under
+///    heavy load, each count's outcome asserted `==` the unsharded one
+///    first. The `DMRA_SHARD_SPEEDUP_MIN` gate (default 2, exit 1 below
+///    it) compares 4 shards against 1 — but only on hosts exposing ≥ 4
+///    hardware threads. On smaller hosts the gate is recorded as skipped
+///    in the JSON: shard workers time-sliced onto one core can only
+///    measure scheduling overhead, not parallel speedup.
+/// 3. **Sustained scale** — one 2 × 2-sharded run over a 140 × 140-site
+///    metro deployment (19600 BSs, 5 SPs) whose offered load pushes the
+///    steady-state concurrency past one million in-service tasks,
+///    asserted from the per-epoch `in_service` trace.
+fn bench_shard_mode() {
+    let min_speedup: f64 = std::env::var("DMRA_SHARD_SPEEDUP_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // -- Equality across shard grids at paper scale. --
+    let paper_sim = DynamicSimulator::new(DynamicConfig {
+        scenario: ScenarioConfig::paper_defaults(),
+        arrival_rate: 120.0,
+        mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
+        epochs: 60,
+        seed: 11,
+    });
+    let paper_unsharded = paper_sim.run().expect("incremental engine runs");
+    for &(rows, cols) in &[(1usize, 1usize), (2, 1), (2, 2), (3, 3)] {
+        let sharded = paper_sim
+            .run_sharded(rows, cols)
+            .expect("sharded engine runs");
+        assert_eq!(
+            sharded, paper_unsharded,
+            "sharded engine diverged from unsharded on the {rows}x{cols} grid"
+        );
+    }
+    obs_info!("paper-scale outcomes identical on the 1x1, 2x1, 2x2 and 3x3 shard grids");
+
+    // -- Scaling curve on the wide-area grid (same deployment as
+    //    bench_event: 10 × 10 sites, 300 m ISD, 20 BSs per SP). --
+    let mut scenario = ScenarioConfig::paper_defaults();
+    scenario.bss_per_sp = 20;
+    scenario.bs_placement = BsPlacement::RegularGrid {
+        rows: 10,
+        cols: 10,
+        isd: Meters::new(300.0),
+    };
+    scenario.region = Rect::square(Meters::new(3000.0));
+    scenario
+        .validate()
+        .expect("wide-area bench scenario is valid");
+    let epochs = 60usize;
+    let wide_sim = DynamicSimulator::new(DynamicConfig {
+        scenario,
+        arrival_rate: 600.0,
+        mean_holding: 5.0,
+        holding: HoldingDistribution::Geometric,
+        epochs,
+        seed: 11,
+    });
+    let (wide_unsharded, _) = timed(|| wide_sim.run().expect("incremental engine runs"));
+    let unsharded_secs = best_of(3, || wide_sim.run().expect("incremental engine runs"));
+    let mut curve_rows = String::new();
+    let mut one_shard_secs = f64::NAN;
+    let mut four_shard_secs = f64::NAN;
+    for shards in [1usize, 2, 4, 9] {
+        let out = wide_sim.run_sharded_n(shards).expect("sharded engine runs");
+        assert_eq!(
+            out, wide_unsharded,
+            "sharded engine diverged from unsharded at {shards} shards"
+        );
+        let secs = best_of(3, || {
+            wide_sim.run_sharded_n(shards).expect("sharded engine runs")
+        });
+        if shards == 1 {
+            one_shard_secs = secs;
+        }
+        if shards == 4 {
+            four_shard_secs = secs;
+        }
+        let speedup_vs_one = one_shard_secs / secs;
+        let epochs_per_sec = epochs as f64 / secs;
+        obs_info!(
+            "shard curve {shards} shard(s): {secs:.4} s ({speedup_vs_one:.2}x vs 1 shard, \
+             {epochs_per_sec:.0} epochs/s, identical outcome)"
+        );
+        if !curve_rows.is_empty() {
+            curve_rows.push_str(",\n");
+        }
+        curve_rows.push_str(&format!(
+            "      {{ \"shards\": {shards}, \"secs\": {secs:.4}, \
+             \"speedup_vs_one_shard\": {speedup_vs_one:.2}, \
+             \"epochs_per_sec\": {epochs_per_sec:.1}, \"identical_outcome\": true }}"
+        ));
+    }
+    let speedup_at_four = one_shard_secs / four_shard_secs;
+    let gate_applied = hardware_threads >= 4;
+    let gate_pass = speedup_at_four >= min_speedup;
+    let gate_status = if !gate_applied {
+        "skipped"
+    } else if gate_pass {
+        "pass"
+    } else {
+        "fail"
+    };
+    obs_info!(
+        "shard speedup gate: {speedup_at_four:.2}x at 4 shards vs {min_speedup}x bound \
+         ({gate_status}; {hardware_threads} hardware thread(s))"
+    );
+
+    // -- Sustained metro-scale run: ≥ 1e6 concurrent in-service tasks. --
+    // 140 × 140 sites at the paper's 300 m ISD (19600 BSs over 5 SPs),
+    // 40 MHz uplink, deterministic 25-epoch holding: offered concurrency
+    // is 64000 × 25 = 1.6M against a ~2M-task aggregate capacity, so the
+    // in-service count crosses one million around epoch 18.
+    let mut metro = ScenarioConfig::paper_defaults();
+    metro.bss_per_sp = 3920;
+    metro.bs_placement = BsPlacement::RegularGrid {
+        rows: 140,
+        cols: 140,
+        isd: Meters::new(300.0),
+    };
+    metro.region = Rect::square(Meters::new(42_000.0));
+    metro.uplink_bandwidth = Hertz::from_mhz(40.0);
+    metro.validate().expect("metro-scale scenario is valid");
+    let metro_epochs = 26usize;
+    let metro_sim = DynamicSimulator::new(DynamicConfig {
+        scenario: metro,
+        arrival_rate: 64_000.0,
+        mean_holding: 25.0,
+        holding: HoldingDistribution::Deterministic,
+        epochs: metro_epochs,
+        seed: 11,
+    });
+    let (metro_out, metro_secs) = timed(|| {
+        metro_sim
+            .run_sharded(2, 2)
+            .expect("metro-scale sharded run completes")
+    });
+    let peak_in_service = metro_out.in_service.iter().copied().max().unwrap_or(0);
+    assert!(
+        peak_in_service >= 1_000_000,
+        "metro-scale run peaked at {peak_in_service} concurrent tasks, expected >= 1e6"
+    );
+    let metro_arrivals_per_sec = metro_out.arrivals as f64 / metro_secs;
+    let metro_epochs_per_sec = metro_epochs as f64 / metro_secs;
+    obs_info!(
+        "metro scale (19600 BSs, 2x2 shards): {} arrivals over {metro_epochs} epochs \
+         in {metro_secs:.1} s, peak {peak_in_service} tasks in service \
+         ({metro_arrivals_per_sec:.0} arrivals/s, {metro_epochs_per_sec:.2} epochs/s)",
+        metro_out.arrivals
+    );
+
+    let json = format!(
+        "{{\n  \"title\": \"region-sharded runtime: shard-count scaling \
+         (10x10-site wide-area grid, rate 600) and sustained metro scale \
+         (140x140 sites, rate 64000, deterministic holding)\",\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"min_speedup_at_four_shards\": {min_speedup},\n  \
+         \"equality_grids\": [\"1x1\", \"2x1\", \"2x2\", \"3x3\"],\n  \
+         \"scaling\": {{\n    \"epochs\": {epochs}, \"arrival_rate\": 600,\n    \
+         \"unsharded_secs\": {unsharded_secs:.4},\n    \"runs\": [\n{curve_rows}\n    ],\n    \
+         \"speedup_at_four_shards\": {speedup_at_four:.2},\n    \
+         \"gate\": \"{gate_status}\"\n  }},\n  \"metro\": {{\n    \
+         \"n_bss\": 19600, \"shards\": \"2x2\", \"epochs\": {metro_epochs}, \
+         \"arrival_rate\": 64000,\n    \"arrivals\": {},\n    \
+         \"peak_in_service\": {peak_in_service},\n    \
+         \"secs\": {metro_secs:.1},\n    \
+         \"arrivals_per_sec\": {metro_arrivals_per_sec:.1},\n    \
+         \"epochs_per_sec\": {metro_epochs_per_sec:.3}\n  }}\n}}\n",
+        metro_out.arrivals
+    );
+    fs::write("BENCH_shard.json", &json).expect("can write BENCH_shard.json");
+    obs_info!("wrote BENCH_shard.json");
+    if gate_applied && !gate_pass {
+        obs_error!(
+            "shard speedup {speedup_at_four:.2}x at 4 shards fell below the {min_speedup}x bound"
+        );
         std::process::exit(1);
     }
 }

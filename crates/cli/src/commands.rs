@@ -42,11 +42,16 @@ pub fn help_text() -> String {
      \t--epochs N     horizon                     (default 50)\n\
      \t--seed S                                   (default 42)\n\
      \t--engine E     event | incremental | scratch (default incremental; identical results)\n\
+     \t--shards N     region-sharded row builds on a near-square N-cell grid\n\
+     \t               (incremental engine only; identical results)\n\
+     \t--shard-grid RxC  explicit shard grid, e.g. 3x3 (alternative to --shards)\n\
      mobility  moving UEs, handover statistics\n\
      \t--ues N --speed MPS --epochs N --seed S    (defaults 300, 5, 30, 42)\n\
      \t--policy P     full | sticky               (default full)\n\
      \t--stationary F fraction of UEs pinned in place (default 0)\n\
      \t--engine E     incremental | scratch       (default incremental; identical results)\n\
+     \t--shards N     region-sharded row builds (incremental engine only)\n\
+     \t--shard-grid RxC  explicit shard grid, e.g. 3x3 (alternative to --shards)\n\
      plan      Erlang-B blocking prediction & dimensioning\n\
      \t--rate X --holding X --target PCT          (defaults 100, 5, 2)\n\
      help      this text\n\
@@ -356,6 +361,52 @@ fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
     Ok(text)
 }
 
+/// The `--shards N` / `--shard-grid RxC` surface shared by `dynamic` and
+/// `mobility`.
+enum ShardArg {
+    /// `--shards N`: a near-square grid with exactly N cells.
+    Count(usize),
+    /// `--shard-grid RxC`: an explicit rows × cols grid.
+    Grid(usize, usize),
+}
+
+/// Parses the sharding flags; the two are mutually exclusive and only
+/// the incremental engine supports sharded row builds.
+fn shard_spec(parsed: &ParsedArgs) -> Result<Option<ShardArg>, ArgError> {
+    let arg = match (parsed.get("shards"), parsed.get("shard-grid")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError(
+                "--shards and --shard-grid are mutually exclusive".into(),
+            ))
+        }
+        (Some(raw), None) => {
+            let n = raw
+                .parse::<usize>()
+                .map_err(|_| ArgError(format!("cannot parse shard count '{raw}'")))?;
+            Some(ShardArg::Count(n))
+        }
+        (None, Some(raw)) => {
+            let (rows, cols) = raw
+                .split_once('x')
+                .and_then(|(r, c)| Some((r.parse::<usize>().ok()?, c.parse::<usize>().ok()?)))
+                .ok_or_else(|| {
+                    ArgError(format!("--shard-grid must look like '3x3', got '{raw}'"))
+                })?;
+            Some(ShardArg::Grid(rows, cols))
+        }
+        (None, None) => None,
+    };
+    if arg.is_some() {
+        let engine = parsed.get("engine").unwrap_or("incremental");
+        if engine != "incremental" {
+            return Err(ArgError(format!(
+                "--shards/--shard-grid require the incremental engine, got --engine {engine}"
+            )));
+        }
+    }
+    Ok(arg)
+}
+
 fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
     parsed.expect_keys(&[
         "rate",
@@ -365,6 +416,8 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "iota",
         "placement",
         "engine",
+        "shards",
+        "shard-grid",
         "log-level",
         "trace-out",
         "candidate-batch",
@@ -386,14 +439,18 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         config.epochs
     );
     let simulator = DynamicSimulator::new(config);
-    // All three engines are bit-identical; `event` skips idle epochs,
+    let sharding = shard_spec(parsed)?;
+    // All engines are bit-identical; `event` skips idle epochs,
     // `scratch` is the slow executable specification, exposed for
-    // spot-checks and benchmarking.
-    let out = match parsed.get("engine").unwrap_or("incremental") {
-        "event" => simulator.run_event(),
-        "incremental" => simulator.run(),
-        "scratch" => simulator.run_scratch(),
-        other => {
+    // spot-checks and benchmarking, and the sharded variants fan the
+    // incremental engine's row builds out to region workers.
+    let out = match (parsed.get("engine").unwrap_or("incremental"), sharding) {
+        (_, Some(ShardArg::Count(n))) => simulator.run_sharded_n(n),
+        (_, Some(ShardArg::Grid(rows, cols))) => simulator.run_sharded(rows, cols),
+        ("event", None) => simulator.run_event(),
+        ("incremental", None) => simulator.run(),
+        ("scratch", None) => simulator.run_scratch(),
+        (other, None) => {
             return Err(ArgError(format!(
                 "--engine must be 'event', 'incremental' or 'scratch', got '{other}'"
             )))
@@ -452,6 +509,8 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "policy",
         "stationary",
         "engine",
+        "shards",
+        "shard-grid",
         "log-level",
         "trace-out",
         "candidate-batch",
@@ -481,12 +540,17 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         stationary_fraction: parsed.get_or("stationary", 0.0f64)?,
     };
     let simulator = MobilitySimulator::new(config);
-    // Both engines are bit-identical; `scratch` is the slow exhaustive
-    // full-rebuild specification, exposed for spot-checks and benchmarks.
-    let out = match parsed.get("engine").unwrap_or("incremental") {
-        "incremental" => simulator.run(),
-        "scratch" => simulator.run_scratch(),
-        other => {
+    let sharding = shard_spec(parsed)?;
+    // All engines are bit-identical; `scratch` is the slow exhaustive
+    // full-rebuild specification, exposed for spot-checks and benchmarks,
+    // and the sharded variants fan the incremental engine's row builds
+    // out to region workers.
+    let out = match (parsed.get("engine").unwrap_or("incremental"), sharding) {
+        (_, Some(ShardArg::Count(n))) => simulator.run_sharded_n(n),
+        (_, Some(ShardArg::Grid(rows, cols))) => simulator.run_sharded(rows, cols),
+        ("incremental", None) => simulator.run(),
+        ("scratch", None) => simulator.run_scratch(),
+        (other, None) => {
             return Err(ArgError(format!(
                 "--engine must be 'incremental' or 'scratch', got '{other}'"
             )))
@@ -695,6 +759,42 @@ mod tests {
     fn mobility_rejects_unknown_engine() {
         let err = run(&["mobility", "--engine", "warp"]).unwrap_err();
         assert!(err.to_string().contains("--engine"));
+    }
+
+    #[test]
+    fn sharded_runs_print_identical_reports() {
+        let args = ["--rate", "10", "--epochs", "8"];
+        let unsharded = run(&[&["dynamic"], &args[..]].concat()).unwrap();
+        let count = run(&[&["dynamic", "--shards", "4"], &args[..]].concat()).unwrap();
+        let grid = run(&[&["dynamic", "--shard-grid", "2x2"], &args[..]].concat()).unwrap();
+        assert_eq!(unsharded, count);
+        assert_eq!(unsharded, grid);
+
+        let margs = ["--ues", "60", "--speed", "12", "--epochs", "5"];
+        let m_unsharded = run(&[&["mobility"], &margs[..]].concat()).unwrap();
+        let m_sharded = run(&[&["mobility", "--shard-grid", "3x3"], &margs[..]].concat()).unwrap();
+        assert_eq!(m_unsharded, m_sharded);
+    }
+
+    #[test]
+    fn shard_flags_are_validated() {
+        // Mutually exclusive flags.
+        let err = run(&["dynamic", "--shards", "4", "--shard-grid", "2x2"]).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        // Sharding fans out the incremental engine only.
+        for engine in ["event", "scratch"] {
+            let err = run(&["dynamic", "--shards", "4", "--engine", engine]).unwrap_err();
+            assert!(err.to_string().contains("incremental"), "engine {engine}");
+        }
+        let err = run(&["mobility", "--shards", "2", "--engine", "scratch"]).unwrap_err();
+        assert!(err.to_string().contains("incremental"));
+        // Malformed values.
+        let err = run(&["dynamic", "--shard-grid", "2by2"]).unwrap_err();
+        assert!(err.to_string().contains("3x3"));
+        let err = run(&["dynamic", "--shards", "none"]).unwrap_err();
+        assert!(err.to_string().contains("shard count"));
+        let err = run(&["dynamic", "--shards", "0"]).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]

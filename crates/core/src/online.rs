@@ -34,13 +34,21 @@
 //! * an opt-in cross-epoch [`row cache`](DeploymentContext::with_row_cache)
 //!   reuses the candidate row of any UE whose key (position bits, SP,
 //!   service, demands, transmit power) is unchanged since the previous
-//!   epoch *and* whose epoch saw no remaining-budget change — the sticky
-//!   mobility regime, where most UEs move but budgets reset per epoch, or
-//!   stationary UEs ride through epochs untouched. Any budget difference
-//!   bumps a global stamp, invalidating every slot at once (conservative:
-//!   a freed RRB could re-admit a pruned candidate anywhere). The cache
-//!   stays off under load-proportional interference, where every row
-//!   depends on the whole batch.
+//!   epoch *and* none of the BSs the row's build **consulted** saw a
+//!   remaining-budget change since — budgets are stamped per BS, so
+//!   churn in one cell invalidates only the rows whose coverage disc
+//!   touches that cell, not the whole deployment. The consulted set (the
+//!   prune query's hits, budget-independent) is the correct dependency
+//!   footprint: a freed budget could re-admit a candidate the build-time
+//!   scan dropped, but only at a BS the scan actually looked at. The
+//!   cache stays off under load-proportional interference, where every
+//!   row depends on the whole batch.
+//!
+//! The region-sharded runtime in `dmra-sim` builds on two more pieces
+//! here: [`DeploymentContext::with_site_filter`] narrows the prune index
+//! to one shard's site subset (rectangle + coverage-radius halo), and
+//! [`DeploymentContext::epoch_instance_prebuilt`] assembles the epoch
+//! instance from candidate rows the shard workers already built.
 
 use crate::instance::{
     coverage_prune_index, scan_candidate_row, scan_candidate_row_batch, validate_ues,
@@ -94,8 +102,9 @@ const PAR_ROWS_MIN: usize = 1024;
 
 /// Everything a candidate row depends on besides the fixed deployment and
 /// the remaining budgets: the UE's own spec (position as raw bits — a
-/// cache hit must mean *bit-identical* inputs, so no epsilon) plus the
-/// budget stamp of the epoch the row was built in.
+/// cache hit must mean *bit-identical* inputs, so no epsilon). Budget
+/// freshness is tracked separately, per consulted BS, by the cache's
+/// stamp vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct RowKey {
     x_bits: u64,
@@ -105,11 +114,10 @@ struct RowKey {
     cru_demand: Cru,
     rate_bits: u64,
     tx_bits: u64,
-    stamp: u64,
 }
 
 impl RowKey {
-    fn of(ue: &UeSpec, stamp: u64) -> Self {
+    fn of(ue: &UeSpec) -> Self {
         Self {
             x_bits: ue.position.x.to_bits(),
             y_bits: ue.position.y.to_bits(),
@@ -118,7 +126,6 @@ impl RowKey {
             cru_demand: ue.cru_demand,
             rate_bits: ue.rate_demand.get().to_bits(),
             tx_bits: ue.tx_power.get().to_bits(),
-            stamp,
         }
     }
 }
@@ -129,53 +136,111 @@ struct CachedRow {
     key: RowKey,
     links: Vec<CandidateLink>,
     row_max: Meters,
+    /// The budget epoch the row was built under.
+    built: u64,
+    /// The BS indices the build **consulted** (the prune query's hits),
+    /// or `None` for a row built by the exhaustive scan, which consulted
+    /// every BS. Consulted, not kept: a freed budget could re-admit a
+    /// candidate the build-time scan dropped, so the row depends on the
+    /// budgets of every BS the scan looked at — a set that depends only
+    /// on the UE's position and the fixed geometry, never on budgets.
+    deps: Option<Vec<u32>>,
 }
 
 /// Cross-epoch candidate-row cache. Slot `u` caches the row of the UE at
-/// batch position `u` (UE ids are dense per epoch); the key carries
-/// everything the row depends on, and one global stamp — bumped whenever
-/// the remaining budgets differ from the previous epoch's — invalidates
-/// all slots at once.
+/// batch position `u` (UE ids are dense per epoch); the key carries the
+/// UE-spec inputs, and a **per-BS stamp vector** tracks budget churn: a
+/// row is fresh while none of its consulted BSs' budgets changed after it
+/// was built, so churn in one cell leaves rows in distant cells valid.
 #[derive(Debug, Clone, Default)]
 struct RowCache {
     slots: Vec<Option<CachedRow>>,
-    stamp: u64,
+    /// Monotone budget epoch, bumped once per rebuild whose remaining
+    /// budgets differ anywhere from the previous rebuild's.
+    epoch: u64,
+    /// `bs_stamps[b]` = the epoch at which BS `b`'s remaining budgets
+    /// last changed.
+    bs_stamps: Vec<u64>,
+    /// `max(bs_stamps)` — the freshness bar for exhaustive-scan rows.
+    max_stamp: u64,
     prev_rem_cru: Vec<Vec<Cru>>,
     prev_rem_rrb: Vec<RrbCount>,
+    /// Lifetime hit/miss totals (see
+    /// [`DeploymentContext::row_cache_stats`]).
+    hits: u64,
+    misses: u64,
 }
 
 impl RowCache {
     /// Compares this epoch's remaining budgets against the previous
-    /// epoch's and bumps the stamp on any difference (also on the first
-    /// epoch). Returns whether the stamp was bumped — i.e. whether every
-    /// cached row was just invalidated.
-    fn observe_budgets(&mut self, rem_cru: &[Vec<Cru>], rem_rrb: &[RrbCount]) -> bool {
-        let unchanged = self.prev_rem_rrb == rem_rrb
-            && self.prev_rem_cru.len() == rem_cru.len()
-            && self.prev_rem_cru.iter().zip(rem_cru).all(|(a, b)| a == b);
-        if unchanged {
-            return false;
+    /// epoch's, per BS, and stamps exactly the BSs whose budgets changed
+    /// (on the first epoch: all of them). Returns how many BSs were
+    /// stamped — i.e. how many cells' rows were just invalidated; zero
+    /// means every cached row rides through untouched.
+    fn observe_budgets(&mut self, rem_cru: &[Vec<Cru>], rem_rrb: &[RrbCount]) -> u64 {
+        let n_bss = rem_rrb.len();
+        if self.bs_stamps.len() != n_bss {
+            // First epoch (or a budget-arity change): every BS is new.
+            self.epoch += 1;
+            self.bs_stamps.clear();
+            self.bs_stamps.resize(n_bss, self.epoch);
+            self.max_stamp = self.epoch;
+            self.prev_rem_cru.resize_with(n_bss, Vec::new);
+            for (dst, src) in self.prev_rem_cru.iter_mut().zip(rem_cru) {
+                dst.clone_from(src);
+            }
+            self.prev_rem_rrb.clear();
+            self.prev_rem_rrb.extend_from_slice(rem_rrb);
+            return n_bss as u64;
         }
-        self.stamp += 1;
-        self.prev_rem_cru.resize_with(rem_cru.len(), Vec::new);
-        for (dst, src) in self.prev_rem_cru.iter_mut().zip(rem_cru) {
-            dst.clone_from(src);
+        let mut changed = 0u64;
+        let next = self.epoch + 1;
+        for b in 0..n_bss {
+            if self.prev_rem_rrb[b] != rem_rrb[b] || self.prev_rem_cru[b] != rem_cru[b] {
+                changed += 1;
+                self.bs_stamps[b] = next;
+                self.prev_rem_rrb[b] = rem_rrb[b];
+                self.prev_rem_cru[b].clone_from(&rem_cru[b]);
+            }
         }
-        self.prev_rem_rrb.clear();
-        self.prev_rem_rrb.extend_from_slice(rem_rrb);
-        true
+        if changed > 0 {
+            self.epoch = next;
+            self.max_stamp = next;
+        }
+        changed
     }
 
-    /// The cached row for batch slot `u`, if its key matches.
+    /// Whether none of the BSs the row's build consulted saw a budget
+    /// change after the row was built.
+    fn row_fresh(&self, row: &CachedRow) -> bool {
+        match &row.deps {
+            Some(deps) => deps
+                .iter()
+                .all(|&b| self.bs_stamps[b as usize] <= row.built),
+            None => self.max_stamp <= row.built,
+        }
+    }
+
+    /// The cached row for batch slot `u`, if its key matches and its
+    /// consulted BSs' budgets are unchanged since it was built.
     fn lookup(&self, u: usize, key: &RowKey) -> Option<&CachedRow> {
         match self.slots.get(u) {
-            Some(Some(row)) if row.key == *key => Some(row),
+            Some(Some(row)) if row.key == *key && self.row_fresh(row) => Some(row),
             _ => None,
         }
     }
 
-    /// Stores (or overwrites) slot `u`, reusing its allocation.
-    fn store(&mut self, u: usize, key: RowKey, links: &[CandidateLink], row_max: Meters) {
+    /// Stores (or overwrites) slot `u`, reusing its allocation. `deps` is
+    /// the consulted BS set (`None` = exhaustive scan).
+    fn store(
+        &mut self,
+        u: usize,
+        key: RowKey,
+        links: &[CandidateLink],
+        row_max: Meters,
+        deps: Option<Vec<u32>>,
+    ) {
+        let built = self.epoch;
         if self.slots.len() <= u {
             self.slots.resize_with(u + 1, || None);
         }
@@ -185,12 +250,16 @@ impl RowCache {
                 row.links.clear();
                 row.links.extend_from_slice(links);
                 row.row_max = row_max;
+                row.built = built;
+                row.deps = deps;
             }
             slot @ None => {
                 *slot = Some(CachedRow {
                     key,
                     links: links.to_vec(),
                     row_max,
+                    built,
+                    deps,
                 });
             }
         }
@@ -201,11 +270,13 @@ impl RowCache {
 enum RowOutcome {
     /// Cache hit: the stored row is still valid, merge straight from it.
     Hit,
-    /// Rebuilt row (`kept` = pruning-query hits, for telemetry).
+    /// Rebuilt row (`kept` = pruning-query hits, for telemetry; `deps` =
+    /// the consulted BS set when the cache will store the row).
     Miss {
         links: Vec<CandidateLink>,
         row_max: Meters,
         kept: u32,
+        deps: Option<Vec<u32>>,
     },
 }
 
@@ -249,9 +320,11 @@ impl DeploymentContext {
     /// Enables the cross-epoch candidate-row cache: a UE whose key
     /// (position bits, SP, service, demands, transmit power) is unchanged
     /// since the previous epoch reuses its cached row verbatim, provided
-    /// no remaining budget changed in between (any change bumps a global
-    /// stamp and invalidates every slot — a freed budget could re-admit a
-    /// candidate the build-time prune dropped). Intended for sticky
+    /// none of the BSs its build **consulted** (the prune query's hits —
+    /// a freed budget could re-admit a candidate the build-time scan
+    /// dropped, but only at a BS the scan looked at) saw a remaining-
+    /// budget change in between. Budgets are stamped per BS, so churn in
+    /// one cell leaves rows in distant cells valid. Intended for sticky
     /// populations (the mobility regime); under load-proportional
     /// interference the cache is bypassed, because every row depends on
     /// the whole batch. Outputs stay bit-identical to an uncached
@@ -269,6 +342,40 @@ impl DeploymentContext {
     pub fn with_threads(mut self, threads: Threads) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Narrows the spatial prune index to the sites selected by `keep`
+    /// (one flag per BS), reusing the full index's CSR layout via
+    /// [`GridIndex::subset`]. Queries keep returning **global** BS
+    /// indices, so candidate rows stay globally indexed; for any UE whose
+    /// full prune disc lies inside the kept set, the built row is
+    /// bit-identical to the unfiltered context's. The region-sharded
+    /// runtime passes a shard-rectangle-plus-coverage-halo mask
+    /// (DESIGN.md §13). A no-op when the coverage model admits no prune
+    /// index — the exhaustive scan already visits every BS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len()` differs from the deployment's BS count.
+    #[must_use]
+    pub fn with_site_filter(mut self, keep: &[bool]) -> Self {
+        assert_eq!(
+            keep.len(),
+            self.instance.bss.len(),
+            "keep mask must cover every BS"
+        );
+        if let Some((index, _)) = &mut self.prune {
+            *index = index.subset(keep);
+        }
+        self
+    }
+
+    /// Lifetime row-cache totals as `(hits, misses)`, or `None` when the
+    /// cache is disabled. Counted unconditionally (telemetry on or off),
+    /// so tests and benches can assert hit rates deterministically.
+    #[must_use]
+    pub fn row_cache_stats(&self) -> Option<(u64, u64)> {
+        self.row_cache.as_ref().map(|c| (c.hits, c.misses))
     }
 
     /// Builds this epoch's instance in place: same deployment, the given
@@ -312,6 +419,114 @@ impl DeploymentContext {
         ues: Vec<UeSpec>,
     ) -> Result<&ProblemInstance> {
         self.rebuild(rem_cru, rem_rrb, ues, Some(time))
+    }
+
+    /// Assembles this epoch's instance from candidate rows built
+    /// elsewhere: the region-sharded runtime has per-shard contexts build
+    /// the rows in parallel, merges them in global UE order, and calls
+    /// this on a coordinator context. Budget validation, UE validation,
+    /// budget patching and the pricing-margin high-water check are the
+    /// same as [`DeploymentContext::epoch_instance`]; only the row scan
+    /// is skipped, so `links`/`row_start` must hold exactly what this
+    /// context's own scan would have produced (`tests/sharding.rs` pins
+    /// that equality end to end). `row_start[u]..row_start[u + 1]` is UE
+    /// `u`'s row, `row_start` has `ues.len() + 1` entries starting at 0
+    /// and ending at `links.len()`.
+    ///
+    /// # Errors
+    ///
+    /// The budget/UE/margin errors [`DeploymentContext::epoch_instance`]
+    /// would return, plus [`Error::InvalidConfig`] when the rows are
+    /// malformed (offsets that do not partition `links`, a link to an
+    /// unknown BS) or when the deployment uses load-proportional
+    /// interference — there every row depends on the whole batch, which
+    /// rows built per shard cannot see.
+    pub fn epoch_instance_prebuilt(
+        &mut self,
+        rem_cru: &[Vec<Cru>],
+        rem_rrb: &[RrbCount],
+        ues: Vec<UeSpec>,
+        links: &[CandidateLink],
+        row_start: &[usize],
+    ) -> Result<&ProblemInstance> {
+        if self.interference_factor > 0.0 {
+            return Err(Error::InvalidConfig(
+                "prebuilt candidate rows require the noise-only interference model; \
+                 under load-proportional interference every row depends on the whole batch"
+                    .to_string(),
+            ));
+        }
+        let inst = &mut self.instance;
+        let n_bss = inst.bss.len();
+        if rem_cru.len() != n_bss || rem_rrb.len() != n_bss {
+            return Err(Error::InvalidConfig(format!(
+                "residual budgets cover {} / {} BSs but the instance has {}",
+                rem_cru.len(),
+                rem_rrb.len(),
+                n_bss
+            )));
+        }
+        for (i, bs) in inst.bss.iter().enumerate() {
+            if rem_cru[i].len() != bs.cru_budget.len() {
+                return Err(Error::InvalidConfig(format!(
+                    "{} has {} service budgets but the catalog has {} services",
+                    bs.id,
+                    rem_cru[i].len(),
+                    inst.catalog.len()
+                )));
+            }
+        }
+        validate_ues(&ues, inst.sps.len(), inst.catalog)?;
+        if row_start.len() != ues.len() + 1
+            || row_start.first() != Some(&0)
+            || row_start.last() != Some(&links.len())
+            || row_start.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(Error::InvalidConfig(format!(
+                "prebuilt row offsets do not partition {} links over {} UEs",
+                links.len(),
+                ues.len()
+            )));
+        }
+        if links.iter().any(|l| l.bs.as_usize() >= n_bss) {
+            return Err(Error::InvalidConfig(
+                "prebuilt candidate link references an unknown BS".to_string(),
+            ));
+        }
+
+        for (i, bs) in inst.bss.iter_mut().enumerate() {
+            bs.cru_budget.copy_from_slice(&rem_cru[i]);
+            bs.rrb_budget = rem_rrb[i];
+        }
+        inst.ues = ues;
+        inst.links.clear();
+        inst.links.extend_from_slice(links);
+        inst.row_start.clear();
+        inst.row_start.extend_from_slice(row_start);
+        inst.f_u.clear();
+        for covered in &mut inst.covered_ues {
+            covered.clear();
+        }
+        // `row_max` in the scans is the max over *accepted* links, so the
+        // merged links' distances reproduce it exactly.
+        let mut max_candidate_distance = Meters::new(0.0);
+        for u in 0..inst.ues.len() {
+            let row = &inst.links[row_start[u]..row_start[u + 1]];
+            inst.f_u.push(row.len() as u32);
+            let ue_id = inst.ues[u].id;
+            for link in row {
+                inst.covered_ues[link.bs.as_usize()].push(ue_id);
+                if link.distance > max_candidate_distance {
+                    max_candidate_distance = link.distance;
+                }
+            }
+        }
+        if max_candidate_distance > self.validated_distance {
+            inst.pricing
+                .validate_margin(&inst.sps, max_candidate_distance)?;
+            self.validated_distance = max_candidate_distance;
+        }
+        Ok(&self.instance)
     }
 
     /// The shared rebuild behind both public entry points. `event_time`
@@ -361,18 +576,18 @@ impl DeploymentContext {
         }
         inst.ues = ues;
 
-        // Row-cache epoch bookkeeping, before any row is built: any
-        // remaining-budget difference against the previous epoch bumps
-        // the stamp, so every slot built under the old budgets misses.
-        // Load-proportional interference couples each row to the whole
-        // batch, so the cache is bypassed entirely there.
+        // Row-cache epoch bookkeeping, before any row is built: every BS
+        // whose remaining budgets differ from the previous epoch's gets a
+        // fresh stamp, so exactly the slots whose builds consulted a
+        // changed BS miss. Load-proportional interference couples each
+        // row to the whole batch, so the cache is bypassed entirely
+        // there.
         let cache_active = self.row_cache.is_some() && self.interference_factor == 0.0;
-        let mut cache_invalidated = false;
+        let mut invalidated_bss = 0u64;
         if cache_active {
             let cache = self.row_cache.as_mut().expect("cache_active");
-            cache_invalidated = cache.observe_budgets(rem_cru, rem_rrb);
+            invalidated_bss = cache.observe_budgets(rem_cru, rem_rrb);
         }
-        let stamp = self.row_cache.as_ref().map_or(0, |c| c.stamp);
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
 
@@ -426,15 +641,18 @@ impl DeploymentContext {
                 par_map_indexed_scratch(self.threads, n_ues, RowScratch::default, |scratch, u| {
                     let ue = &ues[u];
                     if let Some(cache) = cache_ref {
-                        if cache.lookup(u, &RowKey::of(ue, stamp)).is_some() {
+                        if cache.lookup(u, &RowKey::of(ue)).is_some() {
                             return RowOutcome::Hit;
                         }
                     }
                     let mut links = Vec::new();
-                    let (row_max, kept) = match prune {
+                    let (row_max, kept, deps) = match prune {
                         Some((index, radius)) => {
                             index.query_within_dist_into(ue.position, *radius, &mut scratch.nearby);
                             let kept = scratch.nearby.len() as u32;
+                            let deps = cache_ref
+                                .is_some()
+                                .then(|| scratch.nearby.iter().map(|&(b, _)| b as u32).collect());
                             (
                                 scan_candidate_row_batch(
                                     ue,
@@ -449,6 +667,7 @@ impl DeploymentContext {
                                     &mut links,
                                 ),
                                 kept,
+                                deps,
                             )
                         }
                         None => (
@@ -464,12 +683,14 @@ impl DeploymentContext {
                                 &mut links,
                             ),
                             0,
+                            None,
                         ),
                     };
                     RowOutcome::Miss {
                         links,
                         row_max,
                         kept,
+                        deps,
                     }
                 });
             let pruned = self.prune.is_some();
@@ -488,6 +709,7 @@ impl DeploymentContext {
                         links,
                         row_max,
                         kept,
+                        deps,
                     } => {
                         if obs_on && pruned {
                             precull_kept += u64::from(kept);
@@ -497,9 +719,10 @@ impl DeploymentContext {
                             cache_misses += 1;
                             self.row_cache.as_mut().expect("cache_active").store(
                                 u,
-                                RowKey::of(&inst.ues[u], stamp),
+                                RowKey::of(&inst.ues[u]),
                                 &links,
                                 row_max,
+                                deps,
                             );
                         }
                         inst.links.extend(links);
@@ -520,7 +743,7 @@ impl DeploymentContext {
             for u in 0..n_ues {
                 let row_from = inst.links.len();
                 let key = if cache_active {
-                    Some(RowKey::of(&inst.ues[u], stamp))
+                    Some(RowKey::of(&inst.ues[u]))
                 } else {
                     None
                 };
@@ -579,11 +802,17 @@ impl DeploymentContext {
                     };
                     if let Some(key) = key {
                         cache_misses += 1;
+                        // The consulted set is this row's prune-query
+                        // hits, still sitting in the query buffer.
+                        let deps = self
+                            .prune
+                            .is_some()
+                            .then(|| self.query_buf.iter().map(|&(b, _)| b as u32).collect());
                         let links = &inst.links[row_from..];
                         self.row_cache
                             .as_mut()
                             .expect("cache_active")
-                            .store(u, key, links, row_max);
+                            .store(u, key, links, row_max, deps);
                     }
                 }
                 if row_max > max_candidate_distance {
@@ -600,6 +829,11 @@ impl DeploymentContext {
         let kernel_ns = kernel_started.map_or(0, |t| {
             u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
         });
+        if cache_active {
+            let cache = self.row_cache.as_mut().expect("cache_active");
+            cache.hits += cache_hits;
+            cache.misses += cache_misses;
+        }
 
         // Constraint (16): the worst-case price is monotone in distance,
         // so only a new high-water distance needs re-validation — and it
@@ -678,9 +912,9 @@ impl DeploymentContext {
             if self.row_cache.is_some() {
                 ROW_CACHE_HITS.get().add(cache_hits);
                 ROW_CACHE_MISSES.get().add(cache_misses);
-                if cache_invalidated {
-                    ROW_CACHE_INVALIDATIONS.get().inc();
-                }
+                // One unit per BS whose budgets changed this epoch — the
+                // per-BS stamping granularity.
+                ROW_CACHE_INVALIDATIONS.get().add(invalidated_bss);
             }
             let mut fields = vec![
                 ("ues", inst.ues.len() as f64),
@@ -694,7 +928,7 @@ impl DeploymentContext {
             if self.row_cache.is_some() {
                 fields.push(("cache_hits", cache_hits as f64));
                 fields.push(("cache_misses", cache_misses as f64));
-                fields.push(("cache_invalidated", f64::from(u8::from(cache_invalidated))));
+                fields.push(("cache_invalidated_bss", invalidated_bss as f64));
             }
             if let Some(t) = event_time {
                 fields.insert(0, ("time", t));
@@ -910,6 +1144,230 @@ mod tests {
                 .unwrap();
             assert_same_instance(fast, &scratch);
         }
+    }
+
+    /// Two cells 5 km apart — far beyond the 300 m coverage radius — so
+    /// no UE's prune query ever consults both BSs.
+    fn two_distant_cells() -> ProblemInstance {
+        use dmra_types::{BsId, BsSpec, Hertz, Money, ServiceCatalog, SpSpec};
+        let sps = vec![
+            SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0)),
+            SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0)),
+        ];
+        let catalog = ServiceCatalog::new(2);
+        let bss = vec![
+            BsSpec::new(
+                BsId::new(0),
+                SpId::new(0),
+                Point::new(0.0, 0.0),
+                vec![Cru::new(100), Cru::new(100)],
+                Hertz::from_mhz(10.0),
+                RrbCount::new(55),
+            ),
+            BsSpec::new(
+                BsId::new(1),
+                SpId::new(1),
+                Point::new(5000.0, 0.0),
+                vec![Cru::new(100), Cru::new(100)],
+                Hertz::from_mhz(10.0),
+                RrbCount::new(55),
+            ),
+        ];
+        ProblemInstance::build(
+            sps,
+            bss,
+            Vec::new(),
+            catalog,
+            dmra_econ::PricingConfig::paper_defaults(),
+            dmra_radio::RadioConfig::paper_defaults(),
+            CoverageModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn budget_churn_in_one_cell_keeps_distant_rows_cached() {
+        // The per-BS stamp regression: UE 0 lives in BS 0's cell, UE 1 in
+        // BS 1's. Draining BS 1's budgets must invalidate only UE 1's
+        // row — under the old global stamp both would miss.
+        let deployment = two_distant_cells();
+        let mut ctx = DeploymentContext::new(&deployment).with_row_cache();
+        let full_cru = vec![
+            vec![Cru::new(100), Cru::new(100)],
+            vec![Cru::new(100), Cru::new(100)],
+        ];
+        let full_rrb = vec![RrbCount::new(55), RrbCount::new(55)];
+        let batch = vec![
+            UeSpec::new(
+                UeId::new(0),
+                SpId::new(0),
+                Point::new(50.0, 10.0),
+                ServiceId::new(0),
+                Cru::new(4),
+                BitsPerSec::from_mbps(3.0),
+                Dbm::new(10.0),
+            ),
+            UeSpec::new(
+                UeId::new(1),
+                SpId::new(1),
+                Point::new(4950.0, 10.0),
+                ServiceId::new(1),
+                Cru::new(3),
+                BitsPerSec::from_mbps(2.0),
+                Dbm::new(10.0),
+            ),
+        ];
+        let epochs: [(Vec<Vec<Cru>>, Vec<RrbCount>); 4] = [
+            (full_cru.clone(), full_rrb.clone()),
+            // Drain the *distant* cell: UE 0's row must survive.
+            (
+                vec![
+                    vec![Cru::new(100), Cru::new(100)],
+                    vec![Cru::new(7), Cru::new(2)],
+                ],
+                vec![RrbCount::new(55), RrbCount::new(9)],
+            ),
+            // And again — only UE 1 rebuilds each time.
+            (
+                vec![
+                    vec![Cru::new(100), Cru::new(100)],
+                    vec![Cru::new(3), Cru::new(1)],
+                ],
+                vec![RrbCount::new(55), RrbCount::new(4)],
+            ),
+            // Back to full: BS 1's budgets changed again, BS 0's did not.
+            (full_cru, full_rrb),
+        ];
+        let mut expect_hits = 0u64;
+        let mut expect_misses = 0u64;
+        for (e, (rem_cru, rem_rrb)) in epochs.iter().enumerate() {
+            let scratch = deployment
+                .residual(rem_cru, rem_rrb, batch.clone())
+                .unwrap();
+            let fast = ctx.epoch_instance(rem_cru, rem_rrb, batch.clone()).unwrap();
+            assert_same_instance(fast, &scratch);
+            if e == 0 {
+                expect_misses += 2; // cold cache: both rows built
+            } else {
+                expect_hits += 1; // UE 0 rides through the distant churn
+                expect_misses += 1; // UE 1's cell changed
+            }
+            assert_eq!(
+                ctx.row_cache_stats(),
+                Some((expect_hits, expect_misses)),
+                "epoch {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn unchanged_budgets_keep_every_row_cached() {
+        let deployment = two_distant_cells();
+        let mut ctx = DeploymentContext::new(&deployment).with_row_cache();
+        let rem_cru = vec![
+            vec![Cru::new(100), Cru::new(100)],
+            vec![Cru::new(100), Cru::new(100)],
+        ];
+        let rem_rrb = vec![RrbCount::new(55), RrbCount::new(55)];
+        let batch = fresh_batch(3);
+        for _ in 0..3 {
+            ctx.epoch_instance(&rem_cru, &rem_rrb, batch.clone())
+                .unwrap();
+        }
+        assert_eq!(ctx.row_cache_stats(), Some((6, 3)));
+    }
+
+    #[test]
+    fn prebuilt_rows_assemble_the_identical_instance() {
+        // Build an epoch normally, lift its rows out, and re-assemble
+        // them on a second context: instance, budgets and margin handling
+        // must come out identical.
+        let deployment = two_sp_instance();
+        let mut built = DeploymentContext::new(&deployment);
+        let mut assembled = DeploymentContext::new(&deployment);
+        let rem_cru = vec![
+            vec![Cru::new(20), Cru::new(10)],
+            vec![Cru::new(15), Cru::ZERO],
+        ];
+        let rem_rrb = vec![RrbCount::new(12), RrbCount::new(8)];
+        for e in 0..3usize {
+            let batch = fresh_batch(e + 2);
+            let reference = built
+                .epoch_instance(&rem_cru, &rem_rrb, batch.clone())
+                .unwrap();
+            let mut links = Vec::new();
+            let mut row_start = vec![0usize];
+            for u in 0..reference.n_ues() {
+                links.extend_from_slice(reference.candidates(UeId::new(u as u32)));
+                row_start.push(links.len());
+            }
+            let reference = reference.clone();
+            let fast = assembled
+                .epoch_instance_prebuilt(&rem_cru, &rem_rrb, batch, &links, &row_start)
+                .unwrap();
+            assert_same_instance(fast, &reference);
+        }
+    }
+
+    #[test]
+    fn prebuilt_rows_reject_malformed_offsets() {
+        let deployment = two_sp_instance();
+        let mut ctx = DeploymentContext::new(&deployment);
+        let rem_cru: Vec<Vec<Cru>> = deployment
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let rem_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+        // Offsets that do not cover the batch.
+        let err = ctx
+            .epoch_instance_prebuilt(&rem_cru, &rem_rrb, fresh_batch(2), &[], &[0, 0])
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        // And the context still works afterwards.
+        let ok = ctx
+            .epoch_instance(&rem_cru, &rem_rrb, fresh_batch(1))
+            .unwrap();
+        assert_eq!(ok.n_ues(), 1);
+    }
+
+    #[test]
+    fn site_filter_preserves_rows_whose_disc_stays_inside_the_kept_set() {
+        let deployment = two_sp_instance();
+        let rem_cru: Vec<Vec<Cru>> = deployment
+            .bss()
+            .iter()
+            .map(|b| b.cru_budget.clone())
+            .collect();
+        let rem_rrb: Vec<RrbCount> = deployment.bss().iter().map(|b| b.rrb_budget).collect();
+        // A UE at (-50, 0): BS 0 is 50 m away, BS 1 is 350 m away — its
+        // whole 300 m prune disc lives in the kept set {BS 0}.
+        let batch = vec![UeSpec::new(
+            UeId::new(0),
+            SpId::new(0),
+            Point::new(-50.0, 0.0),
+            ServiceId::new(0),
+            Cru::new(4),
+            BitsPerSec::from_mbps(3.0),
+            Dbm::new(10.0),
+        )];
+        let mut full = DeploymentContext::new(&deployment);
+        let reference = full
+            .epoch_instance(&rem_cru, &rem_rrb, batch.clone())
+            .unwrap()
+            .clone();
+        let mut filtered = DeploymentContext::new(&deployment).with_site_filter(&[true, false]);
+        let fast = filtered.epoch_instance(&rem_cru, &rem_rrb, batch).unwrap();
+        assert_same_instance(fast, &reference);
+        // All-true mask: trivially identical for any batch.
+        let mut all = DeploymentContext::new(&deployment).with_site_filter(&[true, true]);
+        let batch = fresh_batch(4);
+        let reference = full
+            .epoch_instance(&rem_cru, &rem_rrb, batch.clone())
+            .unwrap()
+            .clone();
+        let fast = all.epoch_instance(&rem_cru, &rem_rrb, batch).unwrap();
+        assert_same_instance(fast, &reference);
     }
 
     #[test]

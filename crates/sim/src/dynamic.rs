@@ -68,11 +68,14 @@
 //! ```
 
 use crate::config::ScenarioConfig;
+use crate::shard::{self, EpochBudgets, ShardGrid, ShardJob};
 use dmra_core::{
-    Allocation, Allocator, CandidateScan, DeploymentContext, Dmra, ProblemInstance, Threads,
+    Allocation, Allocator, CandidateLink, CandidateScan, DeploymentContext, Dmra, ProblemInstance,
+    Threads,
 };
 use dmra_geo::rng::component_rng;
 use dmra_obs::obs_warn;
+use dmra_par::WorkerPool;
 use dmra_types::{
     BitsPerSec, BsId, BsSpec, Cru, Error, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
 };
@@ -81,6 +84,7 @@ use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 
 /// How long an admitted task holds its resources.
 ///
@@ -393,6 +397,159 @@ impl DynamicSimulator {
                     ],
                 });
             }
+        }
+        Ok(state.outcome)
+    }
+
+    /// Runs the simulation with the **region-sharded engine**: the site
+    /// grid is partitioned into `rows × cols` rectangular shards
+    /// ([`ShardGrid`]), each owning a long-lived worker thread
+    /// ([`dmra_par::WorkerPool`]) with its own [`DeploymentContext`]
+    /// whose prune index is narrowed to the shard's sites plus a
+    /// coverage-radius halo. Each epoch the coordinator draws the
+    /// arrival batch (same RNG stream as [`DynamicSimulator::run`] —
+    /// a seed fixes the workload trace across engines), routes UEs to
+    /// shards by position, fans the row builds out to the workers,
+    /// merges the rows back into global order and assembles the epoch
+    /// instance with `epoch_instance_prebuilt`; the allocator then
+    /// solves the merged instance **once** — coverage discs chain the
+    /// candidate graph across shard seams and BS budgets couple
+    /// admissions globally, so per-shard solves could not match. The
+    /// outcome is bit-identical to the unsharded engines for every
+    /// shard count (`tests/sharding.rs` pins it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSimulator::run`], plus [`Error::InvalidConfig`]
+    /// for a zero shard dimension or a load-proportional interference
+    /// model (per-shard row builds cannot see the whole batch).
+    pub fn run_sharded(&self, rows: usize, cols: usize) -> Result<DynamicOutcome> {
+        let grid = ShardGrid::new(rows, cols, self.config.scenario.region)?;
+        self.run_sharded_grid(&grid)
+    }
+
+    /// [`DynamicSimulator::run_sharded`] with a near-square shard grid of
+    /// exactly `shards` cells ([`ShardGrid::for_count`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSimulator::run_sharded`].
+    pub fn run_sharded_n(&self, shards: usize) -> Result<DynamicOutcome> {
+        let grid = ShardGrid::for_count(shards, self.config.scenario.region)?;
+        self.run_sharded_grid(&grid)
+    }
+
+    fn run_sharded_grid(&self, grid: &ShardGrid) -> Result<DynamicOutcome> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        shard::reject_interference(&cfg.scenario.radio)?;
+        let deployment = cfg
+            .scenario
+            .clone()
+            .with_ues(0)
+            .with_seed(cfg.seed)
+            .build()?;
+        // Long-lived shard workers: each slot keeps its filtered context
+        // (buffers, prune index, link evaluator) across epochs. No row
+        // cache — arrival batches are fresh UEs every epoch, matching
+        // the unsharded incremental engine.
+        let (slots, registries) = shard::build_slots(&deployment, grid, false);
+        let pool = WorkerPool::new(slots);
+        let obs_on = dmra_obs::enabled();
+        let worker = shard::row_build_worker(obs_on);
+        // The coordinator context assembles the merged instance and
+        // performs the global validation (budgets, UEs, pricing margin).
+        let mut asm = DeploymentContext::new(&deployment);
+        let mut session = self.allocator.session();
+        let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
+        let mut state = EngineState::new(deployment.bss(), cfg.epochs);
+        let mut merged_links: Vec<CandidateLink> = Vec::new();
+        let mut merged_starts: Vec<usize> = Vec::new();
+
+        for epoch in 0..cfg.epochs {
+            let epoch_started = obs_on.then(std::time::Instant::now);
+            let admitted_before = state.outcome.admitted;
+            state.release_departures(epoch);
+            let n_new = poisson(cfg.arrival_rate, &mut rng);
+            state.outcome.arrivals += n_new as u64;
+            if n_new > 0 {
+                let ues = self.draw_arrivals(n_new, &mut rng);
+                let offsets: Vec<f64> = (0..n_new)
+                    .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
+                    .collect();
+                let (owners, batches) = shard::route(grid, &ues);
+                // Budgets move into a shared read-only snapshot for the
+                // barrier, then back — no copy on the happy path.
+                let budgets = Arc::new(EpochBudgets {
+                    cru: std::mem::take(&mut state.rem_cru),
+                    rrb: std::mem::take(&mut state.rem_rrb),
+                });
+                let jobs: Vec<ShardJob> = batches
+                    .into_iter()
+                    .map(|batch| (Arc::clone(&budgets), batch))
+                    .collect();
+                let built = pool.run(jobs, worker.clone());
+                match Arc::try_unwrap(budgets) {
+                    Ok(b) => {
+                        state.rem_cru = b.cru;
+                        state.rem_rrb = b.rrb;
+                    }
+                    Err(shared) => {
+                        state.rem_cru = shared.cru.clone();
+                        state.rem_rrb = shared.rrb.clone();
+                    }
+                }
+                let rows = built.into_iter().collect::<Result<Vec<_>>>()?;
+                shard::merge_rows(&owners, &rows, &mut merged_links, &mut merged_starts);
+                let instance = asm.epoch_instance_prebuilt(
+                    &state.rem_cru,
+                    &state.rem_rrb,
+                    ues,
+                    &merged_links,
+                    &merged_starts,
+                )?;
+                let allocation = session.allocate(instance);
+                debug_assert!(allocation.validate(instance).is_ok());
+                state.commit_epoch(instance, &allocation, &offsets, epoch);
+            }
+            state.finish_epoch();
+            if obs_on {
+                // Same stream names as the incremental engine, so traces
+                // from sharded and unsharded runs line up epoch for epoch.
+                static EPOCHS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.epochs");
+                static ARRIVALS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.arrivals");
+                static EPOCH_NS: dmra_obs::LazyHistogram =
+                    dmra_obs::LazyHistogram::new("sim.epoch_ns");
+                EPOCHS.get().inc();
+                ARRIVALS.get().add(n_new as u64);
+                let epoch_ns = epoch_started.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                EPOCH_NS.get().record(epoch_ns);
+                dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                    name: "sim.epoch",
+                    index: epoch as u64,
+                    fields: vec![
+                        ("arrivals", n_new as f64),
+                        (
+                            "admitted",
+                            (state.outcome.admitted - admitted_before) as f64,
+                        ),
+                        (
+                            "in_service",
+                            state.outcome.in_service.last().copied().unwrap_or(0) as f64,
+                        ),
+                        (
+                            "occupancy",
+                            state.outcome.rrb_occupancy.last().copied().unwrap_or(0.0),
+                        ),
+                        ("wall_ns", epoch_ns as f64),
+                    ],
+                });
+            }
+        }
+        if obs_on {
+            shard::merge_registries(&registries);
         }
         Ok(state.outcome)
     }
@@ -1015,6 +1172,33 @@ mod tests {
         // `incremental` tests sweep allocators, seeds and thread counts).
         let sim = DynamicSimulator::new(base_config(25.0, 2));
         assert_eq!(sim.run().unwrap(), sim.run_scratch().unwrap());
+    }
+
+    #[test]
+    fn sharded_engine_agrees_with_incremental() {
+        // The workspace-root `sharding` tests sweep shard counts ×
+        // allocators × seeds; this is the in-crate smoke version.
+        let sim = DynamicSimulator::new(base_config(25.0, 2));
+        let unsharded = sim.run().unwrap();
+        for shards in [1usize, 2, 4] {
+            assert_eq!(
+                sim.run_sharded_n(shards).unwrap(),
+                unsharded,
+                "{shards} shards diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_engine_rejects_load_proportional_interference() {
+        let mut cfg = base_config(10.0, 1);
+        cfg.scenario.radio.interference =
+            dmra_radio::InterferenceModel::LoadProportional { factor: 0.1 };
+        let err = DynamicSimulator::new(cfg).run_sharded(2, 2).unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidConfig(m) if m.contains("interference")),
+            "unexpected error {err}"
+        );
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   model and measures the handover cost of re-running DMRA each epoch.
 //! * [`erlang`] cross-checks the online simulator against Erlang-B loss
 //!   theory (blocking prediction and trunk dimensioning).
+//! * [`shard`] partitions the site grid into rectangular spatial shards
+//!   with long-lived worker threads building candidate rows in parallel;
+//!   the sharded engines ([`dynamic::DynamicSimulator::run_sharded`],
+//!   [`mobility::MobilitySimulator::run_sharded`]) stay bit-identical to
+//!   their unsharded counterparts.
 //!
 //! # Examples
 //!
@@ -47,8 +52,10 @@ pub mod erlang;
 pub mod experiments;
 mod metrics;
 pub mod mobility;
+pub mod shard;
 mod sweep;
 
 pub use config::{BsPlacement, ScenarioConfig, ServicePopularity, SpOverride, UePlacement};
 pub use metrics::Metrics;
+pub use shard::ShardGrid;
 pub use sweep::{Stat, SweepRunner, Table, TableRow};

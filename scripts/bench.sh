@@ -7,9 +7,13 @@
 # bound — 5x by default, see DMRA_EVENT_SPEEDUP_MIN), the link-batch
 # gate that writes BENCH_linkbatch.json (fails when the batched kernel /
 # row-cached mobility loop drops below its bound — 1.5x by default, see
-# DMRA_LINKBATCH_SPEEDUP_MIN), and the telemetry overhead gate that
-# writes BENCH_obs_overhead.json (fails when enabling telemetry costs
-# more than its bound — 2% by default, see DMRA_OBS_OVERHEAD_BOUND_PCT).
+# DMRA_LINKBATCH_SPEEDUP_MIN), the shard gate that writes
+# BENCH_shard.json (asserts sharded == unsharded outcomes, then fails
+# when 4 shards beat 1 shard by less than DMRA_SHARD_SPEEDUP_MIN — 2x by
+# default — on hosts with >= 4 hardware threads; recorded as skipped on
+# smaller hosts), and the telemetry overhead gate that writes
+# BENCH_obs_overhead.json (fails when enabling telemetry costs more than
+# its bound — 2% by default, see DMRA_OBS_OVERHEAD_BOUND_PCT).
 # Extra arguments are forwarded to `cargo bench` (e.g. a bench name
 # filter).
 set -euo pipefail
@@ -19,4 +23,5 @@ cargo bench -p dmra-bench "$@"
 cargo run --release -p dmra-bench --bin figures -- bench
 cargo run --release -p dmra-bench --bin figures -- bench_event
 cargo run --release -p dmra-bench --bin figures -- bench_linkbatch
+cargo run --release -p dmra-bench --bin figures -- bench_shard
 cargo run --release -p dmra-bench --bin figures -- obs_overhead
