@@ -4,7 +4,10 @@
 use crate::args::{ArgError, ParsedArgs};
 use dmra_baselines::{CloudOnly, Dcsp, GreedyProfit, NonCo, RandomAllocator};
 use dmra_core::agents::run_decentralized;
-use dmra_core::{set_batch_mode_default, Allocator, BatchMode, Dmra, DmraConfig, Threads};
+use dmra_core::{
+    set_batch_mode_default, set_solve_mode_default, Allocator, BatchMode, Dmra, DmraConfig,
+    SolveMode, Threads,
+};
 use dmra_obs::{obs_debug, Level};
 use dmra_proto::DropPolicy;
 use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
@@ -66,7 +69,11 @@ pub fn help_text() -> String {
      \t--candidate-batch M  exact | approx: link-batch kernel mode\n\
      \t                 (default exact = bit-identical to the scalar\n\
      \t                 evaluator; approx trades ~1e-10 relative error\n\
-     \t                 for polynomial transcendentals)\n"
+     \t                 for polynomial transcendentals)\n\
+     \t--solve M        monolithic | components: DMRA solve execution\n\
+     \t                 (default monolithic; components decomposes each\n\
+     \t                 instance into candidate-graph components and\n\
+     \t                 solves them in parallel — identical results)\n"
         .to_owned()
 }
 
@@ -82,6 +89,7 @@ pub fn help_text() -> String {
 pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
     configure_logging(parsed)?;
     configure_batch_mode(parsed)?;
+    configure_solve_mode(parsed)?;
     let trace_out = parsed.get("trace-out").map(std::path::PathBuf::from);
     if trace_out.is_some() {
         // Start the traced run from a clean slate so the emitted file
@@ -133,6 +141,24 @@ fn configure_batch_mode(parsed: &ParsedArgs) -> Result<(), ArgError> {
         Some(other) => {
             return Err(ArgError(format!(
                 "--candidate-batch must be 'exact' or 'approx', got '{other}'"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Applies `--solve M` to the process-global default [`SolveMode`], picked
+/// up by every DMRA solve in the command — all engines and the sharded
+/// runtime included. `components` only changes wall-clock time: outcomes
+/// are bit-identical to `monolithic` (instances whose physics forbid
+/// splitting quietly stay monolithic).
+fn configure_solve_mode(parsed: &ParsedArgs) -> Result<(), ArgError> {
+    match parsed.get("solve") {
+        None | Some("monolithic") => set_solve_mode_default(SolveMode::Monolithic),
+        Some("components") => set_solve_mode_default(SolveMode::Components),
+        Some(other) => {
+            return Err(ArgError(format!(
+                "--solve must be 'monolithic' or 'components', got '{other}'"
             )))
         }
     }
@@ -235,6 +261,7 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "log-level",
         "trace-out",
         "candidate-batch",
+        "solve",
     ])?;
     let seed = parsed.get_or("seed", 42u64)?;
     let rho = parsed.get_or("rho", 100.0f64)?;
@@ -285,6 +312,7 @@ fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "log-level",
         "trace-out",
         "candidate-batch",
+        "solve",
     ])?;
     let base = scenario_from(parsed)?;
     let reps = parsed.get_or("reps", 3u32)?;
@@ -421,6 +449,7 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "log-level",
         "trace-out",
         "candidate-batch",
+        "solve",
     ])?;
     let (holding, mean_holding) = parse_holding(parsed.get("holding").unwrap_or("5"))?;
     let config = DynamicConfig {
@@ -514,6 +543,7 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "log-level",
         "trace-out",
         "candidate-batch",
+        "solve",
     ])?;
     let speed = parsed.get_or("speed", 5.0f64)?;
     if speed < 0.0 {
@@ -813,6 +843,39 @@ mod tests {
         assert_eq!(exact, default);
         let err = run(&["run", "--candidate-batch", "fuzzy"]).unwrap_err();
         assert!(err.to_string().contains("--candidate-batch"));
+    }
+
+    #[test]
+    fn solve_components_reports_are_identical_and_garbage_is_rejected() {
+        // Unlike --candidate-batch approx, the component path is
+        // bit-identical by contract, so racing the process-global default
+        // against concurrently running unit tests cannot change any
+        // outcome — only which execution strategy computed it.
+        let mono = run(&["run", "--ues", "80", "--solve", "monolithic"]).unwrap();
+        let comp = run(&["run", "--ues", "80", "--solve", "components"]).unwrap();
+        let default = run(&["run", "--ues", "80"]).unwrap();
+        assert_eq!(mono, comp);
+        assert_eq!(mono, default);
+
+        let args = ["--rate", "10", "--epochs", "8"];
+        let d_mono = run(&[&["dynamic"], &args[..]].concat()).unwrap();
+        let d_comp = run(&[&["dynamic", "--solve", "components"], &args[..]].concat()).unwrap();
+        let d_shard = run(&[
+            &["dynamic", "--solve", "components", "--shards", "4"],
+            &args[..],
+        ]
+        .concat())
+        .unwrap();
+        assert_eq!(d_mono, d_comp);
+        assert_eq!(d_mono, d_shard);
+
+        let margs = ["--ues", "60", "--speed", "12", "--epochs", "5"];
+        let m_mono = run(&[&["mobility"], &margs[..]].concat()).unwrap();
+        let m_comp = run(&[&["mobility", "--solve", "components"], &margs[..]].concat()).unwrap();
+        assert_eq!(m_mono, m_comp);
+
+        let err = run(&["run", "--solve", "psychic"]).unwrap_err();
+        assert!(err.to_string().contains("--solve"));
     }
 
     #[test]

@@ -27,7 +27,9 @@
 
 use crate::allocation::Allocation;
 use crate::allocator::{Allocator, AllocatorSession};
+use crate::components::{self, decompose, Component, Decomposition, SolveMode};
 use crate::instance::{CandidateLink, ProblemInstance};
+use dmra_par::{par_map_indexed_scratch, Threads};
 use dmra_types::{BsId, Cru, Error, Result, RrbCount, UeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -104,19 +106,58 @@ pub struct DmraOutcome {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dmra {
     config: DmraConfig,
+    /// Explicit solve mode; `None` defers to the process-wide default
+    /// ([`components::solve_mode_default`], set by `--solve`).
+    mode: Option<SolveMode>,
+    /// Worker knob for the component fan-out (ignored by the monolithic
+    /// path). Threading never changes the outcome, only wall-clock time.
+    solve_threads: Threads,
 }
 
 impl Dmra {
     /// Creates a DMRA matcher with the given configuration.
     #[must_use]
     pub fn new(config: DmraConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            mode: None,
+            solve_threads: Threads::Auto,
+        }
     }
 
     /// The matcher's configuration.
     #[must_use]
     pub fn config(&self) -> &DmraConfig {
         &self.config
+    }
+
+    /// Returns a copy pinned to the given [`SolveMode`], overriding the
+    /// process-wide default for this matcher only.
+    #[must_use]
+    pub fn with_solve_mode(mut self, mode: SolveMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Returns a copy with the component fan-out pinned to `threads`.
+    #[must_use]
+    pub fn with_solve_threads(mut self, threads: Threads) -> Self {
+        self.solve_threads = threads;
+        self
+    }
+
+    /// The [`SolveMode`] a solve of `instance` will actually use: the
+    /// explicit mode if one was set (else the process default), demoted to
+    /// [`SolveMode::Monolithic`] when the instance's interference model
+    /// makes splitting unsound ([`components::splittable`]).
+    #[must_use]
+    pub fn effective_solve_mode(&self, instance: &ProblemInstance) -> SolveMode {
+        let mode = self.mode.unwrap_or_else(components::solve_mode_default);
+        if mode == SolveMode::Components && !components::splittable(instance) {
+            SolveMode::Monolithic
+        } else {
+            mode
+        }
     }
 
     /// Runs the matching to quiescence, returning convergence diagnostics
@@ -146,11 +187,37 @@ impl Dmra {
     /// one, and one previously used on a *different* instance all produce
     /// identical outcomes (unit tests pin this down).
     ///
+    /// Dispatches on [`Dmra::effective_solve_mode`]: under
+    /// [`SolveMode::Components`] the instance is first decomposed into
+    /// connected components of the candidate-link graph and each component
+    /// is matched independently — bit-identical to the monolithic run
+    /// (DESIGN.md §14), only faster when the instance actually splits. An
+    /// instance that is one component (or empty) falls through to the
+    /// monolithic dense path, which *is* the single-component solve.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::NonTermination`] if `max_iterations` elapses — this
     /// indicates a bug, as the algorithm provably terminates.
     pub fn solve_with_workspace(
+        &self,
+        instance: &ProblemInstance,
+        ws: &mut DmraWorkspace,
+    ) -> Result<DmraOutcome> {
+        if self.effective_solve_mode(instance) == SolveMode::Components {
+            let decomp = decompose(instance);
+            record_decomposition(&decomp);
+            if decomp.components.len() > 1 {
+                return self.solve_decomposed(instance, &decomp);
+            }
+            // ≤ 1 component: degrade to the serial path below.
+        }
+        self.solve_monolithic(instance, ws)
+    }
+
+    /// The original whole-instance dense execution (one [`match_loop`]
+    /// over global indices).
+    fn solve_monolithic(
         &self,
         instance: &ProblemInstance,
         ws: &mut DmraWorkspace,
@@ -164,265 +231,105 @@ impl Dmra {
         let n_ues = instance.n_ues();
         let n_bss = instance.n_bss();
         let n_svcs = instance.catalog().len() as usize;
-        let ues = instance.ues();
 
-        // Dense remaining-resource caches, flattened `[bs * n_svcs + svc]`
-        // (`Cru` and `RrbCount` are plain u32 wrappers, so raw u32
-        // arithmetic reproduces `MatchState` exactly).
-        ws.rem_cru.clear();
-        ws.rem_rrb.clear();
-        for bs in instance.bss() {
-            ws.rem_cru.extend(bs.cru_budget.iter().map(|c| c.get()));
-            ws.rem_rrb.push(bs.rrb_budget.get());
-        }
-        let rem_cru = &mut ws.rem_cru;
-        let rem_rrb = &mut ws.rem_rrb;
+        load_monolithic(instance, ws);
 
-        // Flattened candidate windows: UE `u` owns
-        // `cands[start[u] .. start[u] + len[u]]`; pruning swaps the pruned
-        // entry to the window tail and shrinks the window. The arg-min
-        // below has a unique (value, bs) key per entry, so the reordering
-        // never changes which candidate is selected.
-        ws.cands.clear();
-        ws.start.clear();
-        ws.len.clear();
-        for u in 0..n_ues {
-            let row = instance.candidates(UeId::new(u as u32));
-            ws.start.push(ws.cands.len());
-            ws.len.push(row.len());
-            ws.cands.extend(row.iter().map(|l| DenseCand {
-                bs: l.bs.index(),
-                n_rrbs: l.n_rrbs.get(),
-                price: l.price.get(),
-                same_sp: l.same_sp,
-            }));
-        }
-        let cands = &mut ws.cands;
-        let start = &ws.start;
-        let len = &mut ws.len;
-        ws.svc.clear();
-        ws.svc.extend(ues.iter().map(|ue| ue.service.as_usize()));
-        let svc = &ws.svc;
-        ws.cru_demand.clear();
-        ws.cru_demand
-            .extend(ues.iter().map(|ue| ue.cru_demand.get()));
-        let cru_demand = &ws.cru_demand;
-        ws.f_u.clear();
-        ws.f_u
-            .extend((0..n_ues).map(|u| instance.f_u(UeId::new(u as u32))));
-        let f_u = &ws.f_u;
-
-        // `assigned` moves into the outcome's `Allocation`, so it is the
-        // one per-solve allocation that cannot live in the workspace.
-        let mut assigned: Vec<Option<BsId>> = vec![None; n_ues];
-        ws.cloud.clear();
-        ws.cloud.resize(n_ues, false);
-        let cloud = &mut ws.cloud;
-        let mut proposals_total = 0u64;
-        let mut acceptances: Vec<usize> = Vec::new();
-        let mut unmatched: Vec<usize> = Vec::new();
-        let mut prunes = 0u64;
-        let mut evictions = 0u64;
-        let mut assigned_total = 0usize;
-        let mut cloud_total = 0usize;
-
-        // Reusable proposal buckets, one per (bs, service) pair; `touched`
-        // lists the buckets filled this iteration (sorted before the BS
-        // side so it walks (bs, service) in exactly the order the
-        // reference's nested BTreeMaps would). Every bucket is empty
-        // between solves (each iteration drains the buckets it touched),
-        // so reuse only needs to grow the slot table.
-        let workspace_reused = ws.buckets.len() >= n_bss * n_svcs;
-        if !workspace_reused {
-            ws.buckets.resize_with(n_bss * n_svcs, Vec::new);
-        }
-        debug_assert!(ws.buckets.iter().all(Vec::is_empty));
-        let buckets = &mut ws.buckets;
-        ws.touched.clear();
-        let touched = &mut ws.touched;
-        ws.winners.clear();
-        let winners = &mut ws.winners;
-        let mut final_iterations = None;
-
-        for iteration in 1..=self.config.max_iterations {
-            // ---- UE side: lines 3–10 ----
-            let mut any = false;
-            for u in 0..n_ues {
-                if assigned[u].is_some() || cloud[u] {
-                    continue;
-                }
-                let s = svc[u];
-                loop {
-                    if len[u] == 0 {
-                        // Line 1 / fallthrough of lines 4–10: no BS can
-                        // serve this UE; forward to the remote cloud.
-                        cloud[u] = true;
-                        cloud_total += 1;
-                        break;
-                    }
-                    // Eq. (17) arg-min over the live window.
-                    let window = &cands[start[u]..start[u] + len[u]];
-                    let mut best_i = 0usize;
-                    let mut best_v = f64::INFINITY;
-                    let mut best_bs = u32::MAX;
-                    for (i, c) in window.iter().enumerate() {
-                        let b = c.bs as usize;
-                        let denom = f64::from(rem_cru[b * n_svcs + s]) + f64::from(rem_rrb[b]);
-                        let v = if denom <= 0.0 {
-                            f64::INFINITY
-                        } else {
-                            c.price + self.config.rho / denom
-                        };
-                        if v < best_v || (v == best_v && c.bs < best_bs) {
-                            best_i = i;
-                            best_v = v;
-                            best_bs = c.bs;
-                        }
-                    }
-                    let c = cands[start[u] + best_i];
-                    let b = c.bs as usize;
-                    if rem_cru[b * n_svcs + s] >= cru_demand[u] && rem_rrb[b] >= c.n_rrbs {
-                        let slot = b * n_svcs + s;
-                        if buckets[slot].is_empty() {
-                            touched.push(slot);
-                        }
-                        // The proposal carries everything the BS side
-                        // needs, so no per-winner candidate lookups later.
-                        buckets[slot].push(DenseProposal {
-                            ue: u as u32,
-                            n_rrbs: c.n_rrbs,
-                            cru_demand: cru_demand[u],
-                            pref: (
-                                self.config.same_sp_preference && c.same_sp,
-                                Reverse(f_u[u]),
-                                Reverse(c.n_rrbs + cru_demand[u]),
-                                Reverse(u as u32),
-                            ),
-                        });
-                        proposals_total += 1;
-                        any = true;
-                        break;
-                    }
-                    // Line 10: the BS can never serve this UE again.
-                    prunes += 1;
-                    len[u] -= 1;
-                    cands.swap(start[u] + best_i, start[u] + len[u]);
-                }
-            }
-            if !any {
-                final_iterations = Some(iteration);
-                break;
-            }
-
-            // ---- BS side: lines 11–25 ----
-            touched.sort_unstable();
-            let mut accepted_this_iteration = 0usize;
-            let mut t = 0usize;
-            while t < touched.len() {
-                let bs = touched[t] / n_svcs;
-                winners.clear();
-                while t < touched.len() && touched[t] / n_svcs == bs {
-                    // One winner per service: the max-preference proposer
-                    // (the key embeds the UE id, so it is unique).
-                    let bucket = &buckets[touched[t]];
-                    let mut best = bucket[0];
-                    for p in &bucket[1..] {
-                        if p.pref > best.pref {
-                            best = *p;
-                        }
-                    }
-                    winners.push(best);
-                    t += 1;
-                }
-                // Radio admission: lines 22–25. Remove least-preferred
-                // winners until the batch fits the remaining RRBs.
-                let mut total: u32 = winners.iter().map(|w| w.n_rrbs).sum();
-                if total > rem_rrb[bs] {
-                    // Ascending preference = worst first.
-                    winners.sort_by_key(|w| Reverse(w.pref));
-                    while total > rem_rrb[bs] {
-                        let dropped = winners.pop().expect("winners cannot empty before fitting");
-                        total -= dropped.n_rrbs;
-                        evictions += 1;
-                    }
-                }
-                for w in winners.drain(..) {
-                    let u = w.ue as usize;
-                    rem_cru[bs * n_svcs + svc[u]] -= w.cru_demand;
-                    rem_rrb[bs] -= w.n_rrbs;
-                    assigned[u] = Some(BsId::new(bs as u32));
-                    accepted_this_iteration += 1;
-                }
-            }
-            for &slot in touched.iter() {
-                buckets[slot].clear();
-            }
-            touched.clear();
-            assigned_total += accepted_this_iteration;
-            acceptances.push(accepted_this_iteration);
-            unmatched.push(n_ues - assigned_total - cloud_total);
-        }
-        let Some(iterations) = final_iterations else {
-            return Err(Error::NonTermination {
-                bound: self.config.max_iterations,
-            });
-        };
+        let run = match_loop(&self.config, n_ues, n_bss, n_svcs, ws)?;
 
         if obs_on {
-            // Handles are resolved once and cached; steady-state recording
-            // is one atomic op per metric (see BENCH_obs_overhead.json).
-            static SOLVES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.solves");
-            static ROUNDS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.rounds");
-            static PROPOSALS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.proposals");
-            static ACCEPTANCES: dmra_obs::LazyCounter =
-                dmra_obs::LazyCounter::new("dmra.acceptances");
-            static CLOUD_FORWARDS: dmra_obs::LazyCounter =
-                dmra_obs::LazyCounter::new("dmra.cloud_forwards");
-            static PRUNES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.prunes");
-            static EVICTIONS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.evictions");
-            static REUSE_HITS: dmra_obs::LazyCounter =
-                dmra_obs::LazyCounter::new("dmra.workspace_reuse_hits");
-            static SOLVE_NS: dmra_obs::LazyHistogram =
-                dmra_obs::LazyHistogram::new("dmra.solve_ns");
-            SOLVES.get().inc();
-            ROUNDS.get().add(iterations as u64);
-            PROPOSALS.get().add(proposals_total);
-            ACCEPTANCES.get().add(assigned_total as u64);
-            CLOUD_FORWARDS.get().add(cloud_total as u64);
-            PRUNES.get().add(prunes);
-            EVICTIONS.get().add(evictions);
-            if workspace_reused {
-                REUSE_HITS.get().inc();
-            }
-            let solve_ns = solve_started.map_or(0, |t| {
-                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
-            });
-            SOLVE_NS.get().record(solve_ns);
-            dmra_obs::global_trace().record(dmra_obs::TraceEvent {
-                name: "dmra.solve",
-                index: SOLVES.get().get(),
-                fields: vec![
-                    ("ues", n_ues as f64),
-                    ("rounds", iterations as f64),
-                    ("proposals", proposals_total as f64),
-                    ("accepted", assigned_total as f64),
-                    ("cloud", cloud_total as f64),
-                    ("prunes", prunes as f64),
-                    ("evictions", evictions as f64),
-                    ("wall_ns", solve_ns as f64),
-                ],
-            });
+            record_solve(&run, n_ues, solve_started);
         }
 
-        Ok(DmraOutcome {
-            allocation: Allocation::from_assignments(assigned),
-            iterations,
-            proposals: proposals_total,
-            acceptances,
-            unmatched,
-            prunes,
-            evictions,
-        })
+        Ok(run.into_outcome())
+    }
+
+    /// The component-parallel execution: one [`match_loop`] per connected
+    /// component (local indices), fanned out over `dmra-par` workers with
+    /// per-worker workspace scratch, then a deterministic merge back to
+    /// global UE order. Only called with ≥ 2 components.
+    ///
+    /// Bit-identity to [`Dmra::solve_monolithic`] (DESIGN.md §14): a
+    /// component member's state at iteration `t` depends only on component
+    /// state at `t - 1`, component UE/BS lists are ascending so local
+    /// index order preserves every global tie-break order, and the merge
+    /// rules below reconstruct exactly the global trajectories
+    /// (`iterations = max`, per-iteration counters are sums with quiesced
+    /// components contributing zero).
+    fn solve_decomposed(
+        &self,
+        instance: &ProblemInstance,
+        decomp: &Decomposition,
+    ) -> Result<DmraOutcome> {
+        let obs_on = dmra_obs::enabled();
+        let solve_started = obs_on.then(std::time::Instant::now);
+        let n_ues = instance.n_ues();
+        let n_bss = instance.n_bss();
+        let n_svcs = instance.catalog().len() as usize;
+        let config = &self.config;
+
+        // The fan-out is outcome-transparent by the `dmra-par` contract
+        // (outputs in index order, any thread count); the scratch pair is
+        // a reusable workspace plus a global→local BS index map whose
+        // entries are always written before read for the component at
+        // hand.
+        let runs: Vec<Result<MatchRun>> = par_map_indexed_scratch(
+            self.solve_threads,
+            decomp.components.len(),
+            || (DmraWorkspace::default(), vec![0u32; n_bss]),
+            |(ws, bs_local), c| {
+                let comp = &decomp.components[c];
+                load_component(instance, comp, ws, bs_local);
+                match_loop(config, comp.ues.len(), comp.bss.len(), n_svcs, ws)
+            },
+        );
+
+        // Deterministic merge in component order (components are ordered
+        // by smallest UE id; each UE belongs to exactly one component).
+        let mut merged = MatchRun {
+            assigned: vec![None; n_ues],
+            iterations: 1,
+            proposals: 0,
+            acceptances: Vec::new(),
+            unmatched: Vec::new(),
+            prunes: 0,
+            evictions: 0,
+            assigned_total: 0,
+            cloud_total: decomp.cloud_only.len(),
+            workspace_reused: false,
+        };
+        for (comp, run) in decomp.components.iter().zip(runs) {
+            let run = run?;
+            // A component that quiesced at `T_c` contributes zero to every
+            // later global iteration: all its UEs are assigned or
+            // cloud-forwarded by then, exactly as in the monolithic run.
+            merged.iterations = merged.iterations.max(run.iterations);
+            merged.proposals += run.proposals;
+            merged.prunes += run.prunes;
+            merged.evictions += run.evictions;
+            merged.assigned_total += run.assigned_total;
+            merged.cloud_total += run.cloud_total;
+            if merged.acceptances.len() < run.acceptances.len() {
+                merged.acceptances.resize(run.acceptances.len(), 0);
+                merged.unmatched.resize(run.unmatched.len(), 0);
+            }
+            for (t, &a) in run.acceptances.iter().enumerate() {
+                merged.acceptances[t] += a;
+            }
+            for (t, &m) in run.unmatched.iter().enumerate() {
+                merged.unmatched[t] += m;
+            }
+            for (lu, &gu) in comp.ues.iter().enumerate() {
+                if let Some(lb) = run.assigned[lu] {
+                    merged.assigned[gu as usize] = Some(BsId::new(comp.bss[lb.as_usize()]));
+                }
+            }
+        }
+
+        if obs_on {
+            record_solve(&merged, n_ues, solve_started);
+        }
+
+        Ok(merged.into_outcome())
     }
 
     /// The straightforward line-by-line transcription of Algorithm 1 that
@@ -545,6 +452,8 @@ impl Dmra {
         }
         Err(Error::NonTermination {
             bound: self.config.max_iterations,
+            n_ues,
+            n_bss: instance.n_bss(),
         })
     }
 }
@@ -622,6 +531,399 @@ impl AllocatorSession for DmraSession {
             .solve_with_workspace(instance, &mut self.workspace)
             .expect("DMRA terminates within its iteration bound")
             .allocation
+    }
+}
+
+/// Everything one dense [`match_loop`] run produces. Indices are *local*
+/// to the run: the monolithic path runs over global indices (local ==
+/// global), a component run over the component's ascending UE/BS lists
+/// (remapped during the merge).
+struct MatchRun {
+    /// Per-UE assignment (local BS ids); `None` = cloud or unreachable.
+    assigned: Vec<Option<BsId>>,
+    /// Iterations executed, including the final silent one.
+    iterations: usize,
+    /// Total proposals sent.
+    proposals: u64,
+    /// UEs accepted per non-silent iteration.
+    acceptances: Vec<usize>,
+    /// UEs still unmatched after each non-silent iteration.
+    unmatched: Vec<usize>,
+    /// Candidate links pruned.
+    prunes: u64,
+    /// Admission-step evictions.
+    evictions: u64,
+    /// Total UEs edge-assigned.
+    assigned_total: usize,
+    /// Total UEs cloud-forwarded.
+    cloud_total: usize,
+    /// Whether the workspace's bucket table was already large enough
+    /// (telemetry only).
+    workspace_reused: bool,
+}
+
+impl MatchRun {
+    fn into_outcome(self) -> DmraOutcome {
+        DmraOutcome {
+            allocation: Allocation::from_assignments(self.assigned),
+            iterations: self.iterations,
+            proposals: self.proposals,
+            acceptances: self.acceptances,
+            unmatched: self.unmatched,
+            prunes: self.prunes,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// Loads the dense caches of a whole-instance run into `ws`: global UE/BS
+/// indices are the run's local indices.
+fn load_monolithic(instance: &ProblemInstance, ws: &mut DmraWorkspace) {
+    let n_ues = instance.n_ues();
+    let ues = instance.ues();
+
+    // Dense remaining-resource caches, flattened `[bs * n_svcs + svc]`
+    // (`Cru` and `RrbCount` are plain u32 wrappers, so raw u32
+    // arithmetic reproduces `MatchState` exactly).
+    ws.rem_cru.clear();
+    ws.rem_rrb.clear();
+    for bs in instance.bss() {
+        ws.rem_cru.extend(bs.cru_budget.iter().map(|c| c.get()));
+        ws.rem_rrb.push(bs.rrb_budget.get());
+    }
+
+    // Flattened candidate windows: UE `u` owns
+    // `cands[start[u] .. start[u] + len[u]]`; pruning swaps the pruned
+    // entry to the window tail and shrinks the window. The arg-min in the
+    // match loop has a unique (value, bs) key per entry, so the reordering
+    // never changes which candidate is selected.
+    ws.cands.clear();
+    ws.start.clear();
+    ws.len.clear();
+    for u in 0..n_ues {
+        let row = instance.candidates(UeId::new(u as u32));
+        ws.start.push(ws.cands.len());
+        ws.len.push(row.len());
+        ws.cands.extend(row.iter().map(|l| DenseCand {
+            bs: l.bs.index(),
+            n_rrbs: l.n_rrbs.get(),
+            price: l.price.get(),
+            same_sp: l.same_sp,
+        }));
+    }
+    ws.svc.clear();
+    ws.svc.extend(ues.iter().map(|ue| ue.service.as_usize()));
+    ws.cru_demand.clear();
+    ws.cru_demand
+        .extend(ues.iter().map(|ue| ue.cru_demand.get()));
+    ws.f_u.clear();
+    ws.f_u
+        .extend((0..n_ues).map(|u| instance.f_u(UeId::new(u as u32))));
+}
+
+/// Loads the dense caches of one component's sub-instance into `ws`,
+/// remapping BS indices through `bs_local` (global → local; entries are
+/// written for every BS of this component before any read, so the map can
+/// be reused across components without clearing).
+///
+/// Because `comp.ues` and `comp.bss` are ascending, local index order
+/// preserves global order — every tie-break (`c.bs < best_bs`, the
+/// `Reverse(ue)` preference term, the `touched` slot sort) resolves
+/// exactly as it does in the monolithic run. All per-UE values (`f_u`,
+/// demands, prices) are the instance-global ones; `f_u` equals the UE's
+/// candidate-row length, which is entirely intra-component.
+fn load_component(
+    instance: &ProblemInstance,
+    comp: &Component,
+    ws: &mut DmraWorkspace,
+    bs_local: &mut [u32],
+) {
+    let ues = instance.ues();
+    ws.rem_cru.clear();
+    ws.rem_rrb.clear();
+    for (li, &gb) in comp.bss.iter().enumerate() {
+        let bs = &instance.bss()[gb as usize];
+        ws.rem_cru.extend(bs.cru_budget.iter().map(|c| c.get()));
+        ws.rem_rrb.push(bs.rrb_budget.get());
+        bs_local[gb as usize] = li as u32;
+    }
+    ws.cands.clear();
+    ws.start.clear();
+    ws.len.clear();
+    ws.svc.clear();
+    ws.cru_demand.clear();
+    ws.f_u.clear();
+    for &gu in &comp.ues {
+        let row = instance.candidates(UeId::new(gu));
+        ws.start.push(ws.cands.len());
+        ws.len.push(row.len());
+        ws.cands.extend(row.iter().map(|l| DenseCand {
+            bs: bs_local[l.bs.as_usize()],
+            n_rrbs: l.n_rrbs.get(),
+            price: l.price.get(),
+            same_sp: l.same_sp,
+        }));
+        let u = gu as usize;
+        ws.svc.push(ues[u].service.as_usize());
+        ws.cru_demand.push(ues[u].cru_demand.get());
+        ws.f_u.push(instance.f_u(UeId::new(gu)));
+    }
+}
+
+/// The dense deferred-acceptance loop of Algorithm 1, running over the
+/// `n_ues × n_bss × n_svcs` sub-instance currently loaded in `ws` (see
+/// [`load_monolithic`] / [`load_component`]).
+fn match_loop(
+    config: &DmraConfig,
+    n_ues: usize,
+    n_bss: usize,
+    n_svcs: usize,
+    ws: &mut DmraWorkspace,
+) -> Result<MatchRun> {
+    let rem_cru = &mut ws.rem_cru;
+    let rem_rrb = &mut ws.rem_rrb;
+    let cands = &mut ws.cands;
+    let start = &ws.start;
+    let len = &mut ws.len;
+    let svc = &ws.svc;
+    let cru_demand = &ws.cru_demand;
+    let f_u = &ws.f_u;
+
+    // `assigned` moves into the outcome's `Allocation`, so it is the
+    // one per-solve allocation that cannot live in the workspace.
+    let mut assigned: Vec<Option<BsId>> = vec![None; n_ues];
+    ws.cloud.clear();
+    ws.cloud.resize(n_ues, false);
+    let cloud = &mut ws.cloud;
+    let mut proposals_total = 0u64;
+    let mut acceptances: Vec<usize> = Vec::new();
+    let mut unmatched: Vec<usize> = Vec::new();
+    let mut prunes = 0u64;
+    let mut evictions = 0u64;
+    let mut assigned_total = 0usize;
+    let mut cloud_total = 0usize;
+
+    // Reusable proposal buckets, one per (bs, service) pair; `touched`
+    // lists the buckets filled this iteration (sorted before the BS
+    // side so it walks (bs, service) in exactly the order the
+    // reference's nested BTreeMaps would). Every bucket is empty
+    // between solves (each iteration drains the buckets it touched),
+    // so reuse only needs to grow the slot table.
+    let workspace_reused = ws.buckets.len() >= n_bss * n_svcs;
+    if !workspace_reused {
+        ws.buckets.resize_with(n_bss * n_svcs, Vec::new);
+    }
+    debug_assert!(ws.buckets.iter().all(Vec::is_empty));
+    let buckets = &mut ws.buckets;
+    ws.touched.clear();
+    let touched = &mut ws.touched;
+    ws.winners.clear();
+    let winners = &mut ws.winners;
+    let mut final_iterations = None;
+
+    for iteration in 1..=config.max_iterations {
+        // ---- UE side: lines 3–10 ----
+        let mut any = false;
+        for u in 0..n_ues {
+            if assigned[u].is_some() || cloud[u] {
+                continue;
+            }
+            let s = svc[u];
+            loop {
+                if len[u] == 0 {
+                    // Line 1 / fallthrough of lines 4–10: no BS can
+                    // serve this UE; forward to the remote cloud.
+                    cloud[u] = true;
+                    cloud_total += 1;
+                    break;
+                }
+                // Eq. (17) arg-min over the live window.
+                let window = &cands[start[u]..start[u] + len[u]];
+                let mut best_i = 0usize;
+                let mut best_v = f64::INFINITY;
+                let mut best_bs = u32::MAX;
+                for (i, c) in window.iter().enumerate() {
+                    let b = c.bs as usize;
+                    let denom = f64::from(rem_cru[b * n_svcs + s]) + f64::from(rem_rrb[b]);
+                    let v = if denom <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        c.price + config.rho / denom
+                    };
+                    if v < best_v || (v == best_v && c.bs < best_bs) {
+                        best_i = i;
+                        best_v = v;
+                        best_bs = c.bs;
+                    }
+                }
+                let c = cands[start[u] + best_i];
+                let b = c.bs as usize;
+                if rem_cru[b * n_svcs + s] >= cru_demand[u] && rem_rrb[b] >= c.n_rrbs {
+                    let slot = b * n_svcs + s;
+                    if buckets[slot].is_empty() {
+                        touched.push(slot);
+                    }
+                    // The proposal carries everything the BS side
+                    // needs, so no per-winner candidate lookups later.
+                    buckets[slot].push(DenseProposal {
+                        ue: u as u32,
+                        n_rrbs: c.n_rrbs,
+                        cru_demand: cru_demand[u],
+                        pref: (
+                            config.same_sp_preference && c.same_sp,
+                            Reverse(f_u[u]),
+                            Reverse(c.n_rrbs + cru_demand[u]),
+                            Reverse(u as u32),
+                        ),
+                    });
+                    proposals_total += 1;
+                    any = true;
+                    break;
+                }
+                // Line 10: the BS can never serve this UE again.
+                prunes += 1;
+                len[u] -= 1;
+                cands.swap(start[u] + best_i, start[u] + len[u]);
+            }
+        }
+        if !any {
+            final_iterations = Some(iteration);
+            break;
+        }
+
+        // ---- BS side: lines 11–25 ----
+        touched.sort_unstable();
+        let mut accepted_this_iteration = 0usize;
+        let mut t = 0usize;
+        while t < touched.len() {
+            let bs = touched[t] / n_svcs;
+            winners.clear();
+            while t < touched.len() && touched[t] / n_svcs == bs {
+                // One winner per service: the max-preference proposer
+                // (the key embeds the UE id, so it is unique).
+                let bucket = &buckets[touched[t]];
+                let mut best = bucket[0];
+                for p in &bucket[1..] {
+                    if p.pref > best.pref {
+                        best = *p;
+                    }
+                }
+                winners.push(best);
+                t += 1;
+            }
+            // Radio admission: lines 22–25. Remove least-preferred
+            // winners until the batch fits the remaining RRBs.
+            let mut total: u32 = winners.iter().map(|w| w.n_rrbs).sum();
+            if total > rem_rrb[bs] {
+                // Ascending preference = worst first.
+                winners.sort_by_key(|w| Reverse(w.pref));
+                while total > rem_rrb[bs] {
+                    let dropped = winners.pop().expect("winners cannot empty before fitting");
+                    total -= dropped.n_rrbs;
+                    evictions += 1;
+                }
+            }
+            for w in winners.drain(..) {
+                let u = w.ue as usize;
+                rem_cru[bs * n_svcs + svc[u]] -= w.cru_demand;
+                rem_rrb[bs] -= w.n_rrbs;
+                assigned[u] = Some(BsId::new(bs as u32));
+                accepted_this_iteration += 1;
+            }
+        }
+        for &slot in touched.iter() {
+            buckets[slot].clear();
+        }
+        touched.clear();
+        assigned_total += accepted_this_iteration;
+        acceptances.push(accepted_this_iteration);
+        unmatched.push(n_ues - assigned_total - cloud_total);
+    }
+    let Some(iterations) = final_iterations else {
+        return Err(Error::NonTermination {
+            bound: config.max_iterations,
+            n_ues,
+            n_bss,
+        });
+    };
+
+    Ok(MatchRun {
+        assigned,
+        iterations,
+        proposals: proposals_total,
+        acceptances,
+        unmatched,
+        prunes,
+        evictions,
+        assigned_total,
+        cloud_total,
+        workspace_reused,
+    })
+}
+
+/// Records the standard `dmra.*` telemetry of one finished solve — the
+/// merged totals of a decomposed run are recorded exactly once, with the
+/// same counters the monolithic path uses.
+fn record_solve(run: &MatchRun, n_ues: usize, solve_started: Option<std::time::Instant>) {
+    // Handles are resolved once and cached; steady-state recording
+    // is one atomic op per metric (see BENCH_obs_overhead.json).
+    static SOLVES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.solves");
+    static ROUNDS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.rounds");
+    static PROPOSALS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.proposals");
+    static ACCEPTANCES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.acceptances");
+    static CLOUD_FORWARDS: dmra_obs::LazyCounter =
+        dmra_obs::LazyCounter::new("dmra.cloud_forwards");
+    static PRUNES: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.prunes");
+    static EVICTIONS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("dmra.evictions");
+    static REUSE_HITS: dmra_obs::LazyCounter =
+        dmra_obs::LazyCounter::new("dmra.workspace_reuse_hits");
+    static SOLVE_NS: dmra_obs::LazyHistogram = dmra_obs::LazyHistogram::new("dmra.solve_ns");
+    SOLVES.get().inc();
+    ROUNDS.get().add(run.iterations as u64);
+    PROPOSALS.get().add(run.proposals);
+    ACCEPTANCES.get().add(run.assigned_total as u64);
+    CLOUD_FORWARDS.get().add(run.cloud_total as u64);
+    PRUNES.get().add(run.prunes);
+    EVICTIONS.get().add(run.evictions);
+    if run.workspace_reused {
+        REUSE_HITS.get().inc();
+    }
+    let solve_ns = solve_started.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    });
+    SOLVE_NS.get().record(solve_ns);
+    dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+        name: "dmra.solve",
+        index: SOLVES.get().get(),
+        fields: vec![
+            ("ues", n_ues as f64),
+            ("rounds", run.iterations as f64),
+            ("proposals", run.proposals as f64),
+            ("accepted", run.assigned_total as f64),
+            ("cloud", run.cloud_total as f64),
+            ("prunes", run.prunes as f64),
+            ("evictions", run.evictions as f64),
+            ("wall_ns", solve_ns as f64),
+        ],
+    });
+}
+
+/// Records the `core.components` decomposition telemetry: how many
+/// components the instance split into, the largest component's UE count
+/// (a high-water gauge) and the full size distribution. Shows up in
+/// `--trace-out` snapshots and the `figures -- bench` breakdown.
+fn record_decomposition(decomp: &Decomposition) {
+    if !dmra_obs::enabled() {
+        return;
+    }
+    static COMPONENTS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("core.components");
+    static MAX_UES: dmra_obs::LazyGauge = dmra_obs::LazyGauge::new("core.component_max_ues");
+    static COMPONENT_UES: dmra_obs::LazyHistogram =
+        dmra_obs::LazyHistogram::new("core.component_ues");
+    COMPONENTS.get().add(decomp.components.len() as u64);
+    MAX_UES.get().set_max(decomp.max_component_ues() as u64);
+    for comp in &decomp.components {
+        COMPONENT_UES.get().record(comp.ues.len() as u64);
     }
 }
 
@@ -1040,6 +1342,199 @@ mod tests {
             *out.unmatched.last().unwrap(),
             inst.n_ues() - served - cloud
         );
+    }
+
+    /// Two BS "islands" far beyond coverage range of each other, each with
+    /// its own cluster of UEs — decomposes into two components. A third UE
+    /// cluster member sits out of everyone's coverage (cloud-only).
+    fn island_instance() -> ProblemInstance {
+        let sps = vec![
+            SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0)),
+            SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0)),
+        ];
+        let catalog = ServiceCatalog::new(2);
+        let mk_bs = |id: u32, sp: u32, x: f64| {
+            BsSpec::new(
+                dmra_types::BsId::new(id),
+                SpId::new(sp),
+                Point::new(x, 0.0),
+                vec![Cru::new(100), Cru::new(100)],
+                Hertz::from_mhz(10.0),
+                dmra_types::RrbCount::new(55),
+            )
+        };
+        let bss = vec![mk_bs(0, 0, 0.0), mk_bs(1, 1, 100_000.0)];
+        let mk_ue = |id: u32, sp: u32, x: f64, svc: u32| {
+            UeSpec::new(
+                dmra_types::UeId::new(id),
+                SpId::new(sp),
+                Point::new(x, 0.0),
+                ServiceId::new(svc),
+                Cru::new(4),
+                BitsPerSec::from_mbps(3.0),
+                Dbm::new(10.0),
+            )
+        };
+        let ues = vec![
+            mk_ue(0, 0, 100.0, 0),     // island 0
+            mk_ue(1, 1, 100_100.0, 1), // island 1
+            mk_ue(2, 1, 120.0, 0),     // island 0, cross-SP
+            mk_ue(3, 0, 50_000.0, 0),  // out of all coverage → cloud-only
+            mk_ue(4, 0, 100_050.0, 1), // island 1, cross-SP
+        ];
+        ProblemInstance::build(
+            sps,
+            bss,
+            ues,
+            catalog,
+            PricingConfig::paper_defaults(),
+            RadioConfig::paper_defaults(),
+            CoverageModel::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn island_instance_decomposes_into_two_components() {
+        let inst = island_instance();
+        let d = crate::components::decompose(&inst);
+        assert_eq!(d.components.len(), 2, "decomposition: {d:?}");
+        assert_eq!(d.cloud_only, vec![3]);
+        assert_eq!(d.components[0].ues, vec![0, 2]);
+        assert_eq!(d.components[0].bss, vec![0]);
+        assert_eq!(d.components[1].ues, vec![1, 4]);
+        assert_eq!(d.components[1].bss, vec![1]);
+    }
+
+    #[test]
+    fn component_solve_is_bit_identical_to_monolithic() {
+        // The full DmraOutcome — allocation, iteration count, proposal
+        // totals, convergence trajectories — must match between the two
+        // executions, on instances that do and do not split, across the
+        // config knobs, for every thread count.
+        let scenarios: Vec<(ProblemInstance, DmraConfig)> = vec![
+            (island_instance(), DmraConfig::paper_defaults()),
+            (
+                island_instance(),
+                DmraConfig::paper_defaults().with_rho(0.0),
+            ),
+            (
+                island_instance(),
+                DmraConfig {
+                    same_sp_preference: false,
+                    ..DmraConfig::paper_defaults()
+                },
+            ),
+            (two_sp_instance(), DmraConfig::paper_defaults()),
+            (contested_instance(1), DmraConfig::paper_defaults()),
+            (contested_instance(0), DmraConfig::paper_defaults()),
+            (
+                contested_instance(55),
+                DmraConfig::paper_defaults().with_rho(1000.0),
+            ),
+        ];
+        for (i, (inst, cfg)) in scenarios.iter().enumerate() {
+            let mono = Dmra::new(*cfg)
+                .with_solve_mode(SolveMode::Monolithic)
+                .solve(inst)
+                .unwrap();
+            for threads in [1, 2, 3, 8] {
+                let comp = Dmra::new(*cfg)
+                    .with_solve_mode(SolveMode::Components)
+                    .with_solve_threads(Threads::Fixed(threads))
+                    .solve(inst)
+                    .unwrap();
+                assert_eq!(comp, mono, "scenario #{i} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn component_session_matches_monolithic_session() {
+        let mono = Dmra::default().with_solve_mode(SolveMode::Monolithic);
+        let comp = Dmra::default().with_solve_mode(SolveMode::Components);
+        let mut mono_session = mono.session();
+        let mut comp_session = comp.session();
+        for inst in [
+            island_instance(),
+            two_sp_instance(),
+            island_instance(),
+            contested_instance(1),
+        ] {
+            assert_eq!(comp_session.allocate(&inst), mono_session.allocate(&inst));
+        }
+    }
+
+    #[test]
+    fn load_proportional_interference_pins_the_monolithic_path() {
+        // The global coupling through aggregate received power makes
+        // splitting unsound; the effective mode must demote itself, and
+        // the solve must still equal the monolithic one trivially.
+        let inst = {
+            let sps = vec![
+                SpSpec::new(SpId::new(0), Money::new(10.0), Money::new(1.0)),
+                SpSpec::new(SpId::new(1), Money::new(10.0), Money::new(1.0)),
+            ];
+            let catalog = ServiceCatalog::new(1);
+            let mk_bs = |id: u32, sp: u32, x: f64| {
+                BsSpec::new(
+                    dmra_types::BsId::new(id),
+                    SpId::new(sp),
+                    Point::new(x, 0.0),
+                    vec![Cru::new(100)],
+                    Hertz::from_mhz(10.0),
+                    dmra_types::RrbCount::new(55),
+                )
+            };
+            let mk_ue = |id: u32, sp: u32, x: f64| {
+                UeSpec::new(
+                    dmra_types::UeId::new(id),
+                    SpId::new(sp),
+                    Point::new(x, 0.0),
+                    ServiceId::new(0),
+                    Cru::new(4),
+                    BitsPerSec::from_mbps(3.0),
+                    Dbm::new(10.0),
+                )
+            };
+            let radio = dmra_radio::RadioConfig {
+                interference: dmra_radio::InterferenceModel::LoadProportional { factor: 0.1 },
+                ..RadioConfig::paper_defaults()
+            };
+            ProblemInstance::build(
+                sps,
+                vec![mk_bs(0, 0, 0.0), mk_bs(1, 1, 100_000.0)],
+                vec![mk_ue(0, 0, 100.0), mk_ue(1, 1, 100_100.0)],
+                catalog,
+                PricingConfig::paper_defaults(),
+                radio,
+                CoverageModel::default(),
+            )
+            .unwrap()
+        };
+        let dmra = Dmra::default().with_solve_mode(SolveMode::Components);
+        assert_eq!(dmra.effective_solve_mode(&inst), SolveMode::Monolithic);
+        assert!(!crate::components::splittable(&inst));
+        let comp = dmra.solve(&inst).unwrap();
+        let mono = Dmra::default()
+            .with_solve_mode(SolveMode::Monolithic)
+            .solve(&inst)
+            .unwrap();
+        assert_eq!(comp, mono);
+    }
+
+    #[test]
+    fn all_cloud_instance_merges_to_one_silent_iteration() {
+        // Zero-RRB budget: every candidate prunes away in iteration 1 and
+        // everyone cloud-forwards; both paths must agree on the degenerate
+        // trajectory (iterations = 1, empty timelines).
+        let inst = contested_instance(0);
+        let comp = Dmra::default()
+            .with_solve_mode(SolveMode::Components)
+            .solve(&inst)
+            .unwrap();
+        assert_eq!(comp.iterations, 1);
+        assert!(comp.acceptances.is_empty());
     }
 
     #[test]

@@ -73,12 +73,16 @@ pub mod agents;
 mod allocation;
 mod allocator;
 pub mod analysis;
+pub mod components;
 mod dmra;
 mod instance;
 mod online;
 
 pub use allocation::{Allocation, AllocationStats};
 pub use allocator::{Allocator, AllocatorSession};
+pub use components::{
+    decompose, set_solve_mode_default, solve_mode_default, Component, Decomposition, SolveMode,
+};
 pub use dmra::{Dmra, DmraConfig, DmraOutcome, DmraWorkspace};
 pub use dmra_par::Threads;
 pub use dmra_radio::{batch_mode_default, set_batch_mode_default, BatchMode};

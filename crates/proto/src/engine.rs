@@ -243,7 +243,19 @@ impl<M: MessageKind> RoundEngine<M> {
                 silent_streak = 0;
             }
         }
-        Err(Error::NonTermination { bound: max_rounds })
+        Err(Error::NonTermination {
+            bound: max_rounds,
+            n_ues: self
+                .agents
+                .iter()
+                .filter(|a| matches!(a.address(), Address::Ue(_)))
+                .count(),
+            n_bss: self
+                .agents
+                .iter()
+                .filter(|a| matches!(a.address(), Address::Bs(_)))
+                .count(),
+        })
     }
 
     /// Consumes the engine and returns the agents (ordered by address), so
@@ -362,7 +374,14 @@ mod tests {
             Address::Ue(UeId::new(0)),
         )));
         let err = e.run(50).unwrap_err();
-        assert_eq!(err, Error::NonTermination { bound: 50 });
+        assert_eq!(
+            err,
+            Error::NonTermination {
+                bound: 50,
+                n_ues: 2,
+                n_bss: 0,
+            }
+        );
     }
 
     #[test]

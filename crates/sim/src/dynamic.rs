@@ -359,7 +359,9 @@ impl DynamicSimulator {
                     .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
                     .collect();
                 let instance = ctx.epoch_instance(&state.rem_cru, &state.rem_rrb, ues)?;
+                let solve_started = obs_on.then(std::time::Instant::now);
                 let allocation = session.allocate(instance);
+                record_solve_phase(obs_on, solve_started);
                 debug_assert!(allocation.validate(instance).is_ok());
                 state.commit_epoch(instance, &allocation, &offsets, epoch);
             }
@@ -508,7 +510,9 @@ impl DynamicSimulator {
                     &merged_links,
                     &merged_starts,
                 )?;
+                let solve_started = obs_on.then(std::time::Instant::now);
                 let allocation = session.allocate(instance);
+                record_solve_phase(obs_on, solve_started);
                 debug_assert!(allocation.validate(instance).is_ok());
                 state.commit_epoch(instance, &allocation, &offsets, epoch);
             }
@@ -605,7 +609,9 @@ impl DynamicSimulator {
                 .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
                 .collect();
             let instance = ctx.event_instance(now, &state.rem_cru, &state.rem_rrb, ues)?;
+            let solve_started = obs_on.then(std::time::Instant::now);
             let allocation = session.allocate(instance);
+            record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(instance).is_ok());
             state.commit_event(instance, &allocation, &offsets, now);
             state.record_epoch();
@@ -677,6 +683,7 @@ impl DynamicSimulator {
             .build()?;
         let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
         let mut state = EngineState::new(deployment.bss(), cfg.epochs);
+        let obs_on = dmra_obs::enabled();
 
         for epoch in 0..cfg.epochs {
             state.release_departures(epoch);
@@ -694,7 +701,9 @@ impl DynamicSimulator {
                     threads,
                     CandidateScan::Exhaustive,
                 )?;
+                let solve_started = obs_on.then(std::time::Instant::now);
                 let allocation = self.allocator.allocate(&instance);
+                record_solve_phase(obs_on, solve_started);
                 debug_assert!(allocation.validate(&instance).is_ok());
                 state.commit_epoch(&instance, &allocation, &offsets, epoch);
             }
@@ -956,6 +965,23 @@ impl EventState {
         self.outcome.rrb_occupancy.push(self.occupancy);
         self.outcome.in_service.push(self.heap.len());
     }
+}
+
+/// Records the allocator-solve slice of an epoch into the `sim.solve_ns`
+/// histogram, so the `figures -- bench` per-phase breakdown can separate
+/// matching time from the rest of the epoch (instance assembly, commit,
+/// departure bookkeeping), which `sim.epoch_ns` lumps together. Observe
+/// only: called after the allocation exists, records nothing when
+/// telemetry is off.
+pub(crate) fn record_solve_phase(obs_on: bool, solve_started: Option<std::time::Instant>) {
+    if !obs_on {
+        return;
+    }
+    static SOLVE_NS: dmra_obs::LazyHistogram = dmra_obs::LazyHistogram::new("sim.solve_ns");
+    let solve_ns = solve_started.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    });
+    SOLVE_NS.get().record(solve_ns);
 }
 
 /// λ above which [`poisson`] switches from exact inversion to the normal

@@ -198,8 +198,14 @@ impl MobilitySimulator {
 
         let mut previous: Option<Allocation> = None;
         let mut outcome = empty_outcome(cfg.epochs);
+        let obs_on = dmra_obs::enabled();
         for _epoch in 0..cfg.epochs {
             let instance = ctx.epoch_instance(&full_cru, &full_rrb, ues.clone())?;
+            // The timed slice covers the allocator solve including the
+            // sticky residual re-match (split + residual assembly), i.e.
+            // everything between having an epoch instance and having an
+            // allocation.
+            let solve_started = obs_on.then(std::time::Instant::now);
             let allocation = match (cfg.policy, &previous) {
                 (MobilityPolicy::Sticky, Some(prev)) => {
                     let split = sticky_split(instance, prev);
@@ -214,6 +220,7 @@ impl MobilitySimulator {
                 }
                 _ => session.allocate(instance),
             };
+            crate::dynamic::record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(instance).is_ok());
             account_epoch(&mut outcome, instance, &allocation, previous.as_ref());
             previous = Some(allocation);
@@ -316,6 +323,7 @@ impl MobilitySimulator {
                 &merged_links,
                 &merged_starts,
             )?;
+            let solve_started = obs_on.then(std::time::Instant::now);
             let allocation = match (cfg.policy, &previous) {
                 (MobilityPolicy::Sticky, Some(prev)) => {
                     let split = sticky_split(instance, prev);
@@ -330,6 +338,7 @@ impl MobilitySimulator {
                 }
                 _ => session.allocate(instance),
             };
+            crate::dynamic::record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(instance).is_ok());
             account_epoch(&mut outcome, instance, &allocation, previous.as_ref());
             previous = Some(allocation);
@@ -376,6 +385,7 @@ impl MobilitySimulator {
         let mut session = self.allocator.session();
         let mut previous: Option<Allocation> = None;
         let mut outcome = empty_outcome(cfg.epochs);
+        let obs_on = dmra_obs::enabled();
         for _epoch in 0..cfg.epochs {
             let instance = ProblemInstance::build_with_scan(
                 initial.sps().to_vec(),
@@ -388,6 +398,7 @@ impl MobilitySimulator {
                 threads,
                 CandidateScan::Exhaustive,
             )?;
+            let solve_started = obs_on.then(std::time::Instant::now);
             let allocation = match (cfg.policy, &previous) {
                 (MobilityPolicy::Sticky, Some(prev)) => {
                     let split = sticky_split(&instance, prev);
@@ -407,6 +418,7 @@ impl MobilitySimulator {
                 }
                 _ => session.allocate(&instance),
             };
+            crate::dynamic::record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(&instance).is_ok());
             account_epoch(&mut outcome, &instance, &allocation, previous.as_ref());
             previous = Some(allocation);

@@ -30,10 +30,15 @@ pub enum Error {
         detail: String,
     },
     /// A matching run exceeded its iteration bound without quiescing; this
-    /// indicates a bug, as the paper's algorithm provably terminates.
+    /// indicates a bug, as the paper's algorithm provably terminates. The
+    /// instance dimensions make the report actionable without a rerun.
     NonTermination {
         /// The configured iteration bound that was exhausted.
         bound: usize,
+        /// Number of UEs in the instance that failed to quiesce.
+        n_ues: usize,
+        /// Number of BSs in the instance that failed to quiesce.
+        n_bss: usize,
     },
 }
 
@@ -48,8 +53,17 @@ impl fmt::Display for Error {
             Error::UnprofitablePricing { sp, detail } => {
                 write!(f, "pricing violates constraint (16) for {sp}: {detail}")
             }
-            Error::NonTermination { bound } => {
-                write!(f, "matching did not quiesce within {bound} iterations")
+            Error::NonTermination {
+                bound,
+                n_ues,
+                n_bss,
+            } => {
+                write!(
+                    f,
+                    "matching did not quiesce within {bound} iterations \
+                     (instance: {n_ues} UEs x {n_bss} BSs; the algorithm \
+                     provably terminates in at most |U| + 1 iterations)"
+                )
             }
         }
     }
@@ -76,8 +90,15 @@ mod tests {
     }
 
     #[test]
-    fn nontermination_reports_bound() {
-        let e = Error::NonTermination { bound: 10_000 };
-        assert!(e.to_string().contains("10000"));
+    fn nontermination_reports_bound_and_dimensions() {
+        let e = Error::NonTermination {
+            bound: 10_000,
+            n_ues: 600,
+            n_bss: 25,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10000"), "bound missing: {msg}");
+        assert!(msg.contains("600 UEs"), "UE count missing: {msg}");
+        assert!(msg.contains("25 BSs"), "BS count missing: {msg}");
     }
 }

@@ -11,7 +11,11 @@
 # BENCH_shard.json (asserts sharded == unsharded outcomes, then fails
 # when 4 shards beat 1 shard by less than DMRA_SHARD_SPEEDUP_MIN — 2x by
 # default — on hosts with >= 4 hardware threads; recorded as skipped on
-# smaller hosts), and the telemetry overhead gate that writes
+# smaller hosts), the component-solve gate that writes BENCH_solve.json
+# (asserts component-decomposed == monolithic DMRA outcomes, then fails
+# when 4 solve threads beat the monolithic path by less than
+# DMRA_SOLVE_SPEEDUP_MIN — 1.5x by default — on hosts with >= 4 hardware
+# threads; skipped likewise), and the telemetry overhead gate that writes
 # BENCH_obs_overhead.json (fails when enabling telemetry costs more than
 # its bound — 2% by default, see DMRA_OBS_OVERHEAD_BOUND_PCT).
 # Extra arguments are forwarded to `cargo bench` (e.g. a bench name
@@ -24,4 +28,5 @@ cargo run --release -p dmra-bench --bin figures -- bench
 cargo run --release -p dmra-bench --bin figures -- bench_event
 cargo run --release -p dmra-bench --bin figures -- bench_linkbatch
 cargo run --release -p dmra-bench --bin figures -- bench_shard
+cargo run --release -p dmra-bench --bin figures -- bench_solve
 cargo run --release -p dmra-bench --bin figures -- obs_overhead

@@ -7,3 +7,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy -q --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# The telemetry compile-out configuration must keep building: every
+# dmra-obs dependent forwards a `telemetry` feature, and this catches a
+# crate growing an unconditional dependency on instrumented APIs.
+cargo build -q --workspace --no-default-features
