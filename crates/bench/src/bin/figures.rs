@@ -7,9 +7,10 @@
 //! cargo run --release -p dmra-bench --bin figures -- bench
 //! ```
 //!
-//! Markdown tables go to stdout; CSVs are written to `results/<name>.csv`;
-//! progress goes through the `dmra-obs` logging facade on stderr
-//! (`--quiet` silences it, `--verbose`/`-v` adds debug detail).
+//! CSVs are written to `results/<name>.csv`; markdown tables, sparklines
+//! and progress all go through the `dmra-obs` logging facade on stderr
+//! (`--quiet` silences them, `--verbose`/`-v` adds debug detail), so the
+//! machine-readable artefacts are the files, not the terminal stream.
 //! The `bench` job instead times the sweep engine (serial vs threaded,
 //! asserting bit-identical tables), the instance builder, the dense
 //! DMRA solver against its reference, and the incremental online engine
@@ -325,7 +326,7 @@ fn per_phase_breakdown() {
     });
     sim.run().expect("instrumented dynamic run");
     dmra_obs::set_enabled(false);
-    println!(
+    obs_info!(
         "per-phase breakdown (dynamic, rate 120, 100 epochs):\n{}",
         dmra_obs::global().snapshot().render_table()
     );
@@ -358,7 +359,7 @@ fn per_phase_breakdown() {
     } else {
         0.0
     };
-    println!(
+    obs_info!(
         "mobility breakdown (sticky, 600 UEs, 80% stationary, 30 epochs; \
          row-cache hit rate {hit_rate:.1}%):\n{}",
         snapshot.render_table()
@@ -1106,6 +1107,23 @@ fn obs_overhead_mode() {
         dmra_obs::set_enabled(false);
         (out, secs)
     };
+    // The recorder-enabled arm: telemetry on AND a flight recorder
+    // attached through the process-wide observer slot, streaming one
+    // JSONL record per epoch to a temp file — the full `--record` path.
+    let record_path =
+        std::env::temp_dir().join(format!("dmra-overhead-{}.jsonl", std::process::id()));
+    let run_recorded = || {
+        let recorder = std::sync::Arc::new(
+            dmra_obs::Recorder::create(&record_path, 1).expect("can open overhead record file"),
+        );
+        dmra_obs::set_epoch_observer(Some(
+            std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn dmra_obs::EpochObserver>
+        ));
+        let (out, secs) = run_once(true);
+        dmra_obs::set_epoch_observer(None);
+        assert!(recorder.finish(), "overhead flight record write failed");
+        (out, secs)
+    };
 
     // Warm up both paths once (page cache, lazy metric registration),
     // checking bit-identical outcomes, then time interleaved off/on pairs.
@@ -1120,31 +1138,60 @@ fn obs_overhead_mode() {
         instrumented_out, baseline_out,
         "telemetry changed the dynamic outcome"
     );
+    let (recorded_out, _) = run_recorded();
+    assert_eq!(
+        recorded_out, baseline_out,
+        "flight recording changed the dynamic outcome"
+    );
     // Preferred metric: cumulative CPU ticks per side across all pairs —
     // immune to preemption, and ~800 ticks per side at this workload keeps
     // tick quantization well under the bound. Fallback (no /proc): the median of the
     // per-pair wall-clock overheads, since adjacent runs share machine
-    // conditions.
-    let measure = || {
+    // conditions. The within-pair order ALTERNATES: measured back to
+    // back, the second run of a pair is consistently a few percent
+    // slower on some hosts (frequency-boost decay over the pair), and a
+    // fixed off-then-on order would book that position penalty entirely
+    // to the instrumented side — several times the ~1% effect being
+    // gated. Alternation cancels it.
+    let measure = |run_on: &dyn Fn() -> f64| {
         let mut off_secs = f64::INFINITY;
         let mut on_secs = f64::INFINITY;
         let mut pair_pcts = Vec::with_capacity(runs);
         let mut off_ticks = 0u64;
         let mut on_ticks = 0u64;
         let mut have_ticks = true;
-        for _ in 0..runs {
+        for pair in 0..runs {
+            let off_first = pair % 2 == 0;
             let c0 = cpu_ticks();
-            let off = run_once(false).1;
+            let first = if off_first {
+                run_once(false).1
+            } else {
+                run_on()
+            };
             let c1 = cpu_ticks();
-            let on = run_once(true).1;
+            let second = if off_first {
+                run_on()
+            } else {
+                run_once(false).1
+            };
             let c2 = cpu_ticks();
+            let (off, on) = if off_first {
+                (first, second)
+            } else {
+                (second, first)
+            };
             off_secs = off_secs.min(off);
             on_secs = on_secs.min(on);
             pair_pcts.push((on - off) / off * 100.0);
             match (c0, c1, c2) {
                 (Some(c0), Some(c1), Some(c2)) => {
-                    off_ticks += c1 - c0;
-                    on_ticks += c2 - c1;
+                    let (d_off, d_on) = if off_first {
+                        (c1 - c0, c2 - c1)
+                    } else {
+                        (c2 - c1, c1 - c0)
+                    };
+                    off_ticks += d_off;
+                    on_ticks += d_on;
                 }
                 _ => have_ticks = false,
             }
@@ -1163,27 +1210,39 @@ fn obs_overhead_mode() {
     // gate re-measures before failing: a real regression exceeds the bound
     // on every attempt, a noise spike does not.
     let attempts = 3usize;
-    let mut attempt = 1usize;
-    let (mut overhead_pct, mut off_secs, mut on_secs, mut metric) = measure();
-    while overhead_pct > bound_pct && attempt < attempts {
+    let gated_measure = |label: &str, run_on: &dyn Fn() -> f64| {
+        let mut attempt = 1usize;
+        let (mut overhead_pct, mut off_secs, mut on_secs, mut metric) = measure(run_on);
+        while overhead_pct > bound_pct && attempt < attempts {
+            obs_info!(
+                "{label} overhead attempt {attempt}: {metric} {overhead_pct:+.2}% \
+                 exceeds {bound_pct}%, re-measuring"
+            );
+            attempt += 1;
+            (overhead_pct, off_secs, on_secs, metric) = measure(run_on);
+        }
         obs_info!(
-            "obs overhead attempt {attempt}: {metric} {overhead_pct:+.2}% \
-             exceeds {bound_pct}%, re-measuring"
+            "{label} overhead: off {off_secs:.4} s, on {on_secs:.4} s \
+             ({metric} {overhead_pct:+.2}%, bound {bound_pct}%, \
+             attempt {attempt}/{attempts})"
         );
-        attempt += 1;
-        (overhead_pct, off_secs, on_secs, metric) = measure();
-    }
+        (overhead_pct, off_secs, on_secs, metric)
+    };
+    let (overhead_pct, off_secs, on_secs, metric) = gated_measure("obs", &|| run_once(true).1);
+    let (recorder_pct, _, recorder_secs, recorder_metric) =
+        gated_measure("recorder", &|| run_recorded().1);
+    fs::remove_file(&record_path).ok();
     let within_bound = overhead_pct <= bound_pct;
-    obs_info!(
-        "obs overhead: off {off_secs:.4} s, on {on_secs:.4} s \
-         ({metric} {overhead_pct:+.2}%, bound {bound_pct}%, \
-         attempt {attempt}/{attempts})"
-    );
+    let recorder_within_bound = recorder_pct <= bound_pct;
     let json = format!(
         "{{\n  \"title\": \"telemetry overhead, dynamic simulation (rate 300, \
          3600 epochs), {runs} interleaved pairs\",\n  \"metric\": \"{metric}\",\n  \
          \"disabled_secs\": {off_secs:.4},\n  \
          \"enabled_secs\": {on_secs:.4},\n  \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"recorder_metric\": \"{recorder_metric}\",\n  \
+         \"recorder_secs\": {recorder_secs:.4},\n  \
+         \"recorder_overhead_pct\": {recorder_pct:.2},\n  \
+         \"recorder_within_bound\": {recorder_within_bound},\n  \
          \"bound_pct\": {bound_pct},\n  \"within_bound\": {within_bound},\n  \
          \"identical_outcome\": true\n}}\n"
     );
@@ -1191,6 +1250,10 @@ fn obs_overhead_mode() {
     obs_info!("wrote BENCH_obs_overhead.json");
     if !within_bound {
         obs_error!("telemetry overhead {overhead_pct:.2}% exceeds the {bound_pct}% bound");
+        std::process::exit(1);
+    }
+    if !recorder_within_bound {
+        obs_error!("flight-recorder overhead {recorder_pct:.2}% exceeds the {bound_pct}% bound");
         std::process::exit(1);
     }
 }
@@ -1220,8 +1283,8 @@ fn run_job(job: &str, opts: &ExperimentOptions) -> Result<Table, String> {
 }
 
 fn emit(name: &str, table: &Table) {
-    println!("{}", table.to_markdown());
-    println!("{}", table.to_sparklines());
+    obs_info!("{}", table.to_markdown());
+    obs_info!("{}", table.to_sparklines());
     let csv = Path::new("results").join(format!("{name}.csv"));
     fs::write(&csv, table.to_csv()).expect("can write CSV");
     let gp = Path::new("results").join(format!("{name}.gnuplot"));

@@ -8,7 +8,7 @@ use dmra_core::{
     set_batch_mode_default, set_solve_mode_default, Allocator, BatchMode, Dmra, DmraConfig,
     SolveMode, Threads,
 };
-use dmra_obs::{obs_debug, Level};
+use dmra_obs::{obs_debug, obs_info, Level};
 use dmra_proto::DropPolicy;
 use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
 use dmra_sim::erlang::TrunkModel;
@@ -66,6 +66,15 @@ pub fn help_text() -> String {
      \t--trace-out F    enable telemetry, write trace + metrics JSON to F,\n\
      \t                 and append the counter/timer report to the output\n\
      \t                 (run, sweep, dynamic and mobility only)\n\
+     \t--record F       enable telemetry and write the flight record — one\n\
+     \t                 JSONL line per epoch/round/cell — to F\n\
+     \t                 (sweep, protocol, dynamic and mobility)\n\
+     \t--sample-every N keep every Nth flight record (with --record;\n\
+     \t                 default 1 = every record)\n\
+     \t--metrics-addr A enable telemetry and serve live Prometheus text at\n\
+     \t                 http://A/metrics for the duration of the command\n\
+     \t                 (e.g. 127.0.0.1:0 picks a free port; the bound\n\
+     \t                 address is logged on stderr)\n\
      \t--candidate-batch M  exact | approx: link-batch kernel mode\n\
      \t                 (default exact = bit-identical to the scalar\n\
      \t                 evaluator; approx trades ~1e-10 relative error\n\
@@ -91,25 +100,81 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
     configure_batch_mode(parsed)?;
     configure_solve_mode(parsed)?;
     let trace_out = parsed.get("trace-out").map(std::path::PathBuf::from);
-    if trace_out.is_some() {
-        // Start the traced run from a clean slate so the emitted file
-        // describes exactly this command.
+    let record_out = parsed.get("record").map(std::path::PathBuf::from);
+    if parsed.get("sample-every").is_some() && record_out.is_none() {
+        return Err(ArgError("--sample-every requires --record".into()));
+    }
+    let sample_every = parsed.get_or("sample-every", 1u64)?;
+    if sample_every == 0 {
+        return Err(ArgError("--sample-every must be at least 1".into()));
+    }
+    let metrics_addr = parsed.get("metrics-addr");
+    if trace_out.is_some() || record_out.is_some() || metrics_addr.is_some() {
+        // Start the observed run from a clean slate so the emitted
+        // artefacts describe exactly this command.
         dmra_obs::global().reset();
         dmra_obs::global_trace().clear();
         dmra_obs::set_enabled(true);
     }
+    let recorder = match &record_out {
+        Some(path) => {
+            let recorder =
+                std::sync::Arc::new(dmra_obs::Recorder::create(path, sample_every).map_err(
+                    |e| ArgError(format!("cannot open flight record {}: {e}", path.display())),
+                )?);
+            // The process-wide slot reaches every engine — the dynamic
+            // and mobility simulators, the sweep runner and the proto
+            // round engine all fall back to it.
+            dmra_obs::set_epoch_observer(Some(
+                std::sync::Arc::clone(&recorder) as std::sync::Arc<dyn dmra_obs::EpochObserver>
+            ));
+            Some(recorder)
+        }
+        None => None,
+    };
+    let server = match metrics_addr {
+        Some(addr) => {
+            let server = dmra_obs::MetricsServer::bind(addr)
+                .map_err(|e| ArgError(format!("cannot bind metrics server on {addr}: {e}")))?;
+            obs_info!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let result = dispatch_inner(parsed);
+    let mut record_note = String::new();
+    if let (Some(recorder), Some(path)) = (recorder, &record_out) {
+        dmra_obs::set_epoch_observer(None);
+        let clean = recorder.finish();
+        record_note = format!(
+            "flight record: {} lines to {}\n",
+            recorder.lines_written(),
+            path.display()
+        );
+        if !clean {
+            return Err(ArgError(format!(
+                "flight record write to {} failed (disk full?)",
+                path.display()
+            )));
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
     if let Some(path) = trace_out {
         dmra_obs::set_enabled(false);
         let report = write_trace(&path, &parsed.command)?;
         return result.map(|text| {
             format!(
-                "{text}\n--- telemetry report ---\n{report}trace written to {}\n",
+                "{text}{record_note}\n--- telemetry report ---\n{report}trace written to {}\n",
                 path.display()
             )
         });
     }
-    result
+    if record_out.is_some() || metrics_addr.is_some() {
+        dmra_obs::set_enabled(false);
+    }
+    result.map(|text| format!("{text}{record_note}"))
 }
 
 /// Applies the verbosity surface: default Info, `--verbose`/`-v` raises
@@ -260,6 +325,9 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "threads",
         "log-level",
         "trace-out",
+        "record",
+        "sample-every",
+        "metrics-addr",
         "candidate-batch",
         "solve",
     ])?;
@@ -311,6 +379,9 @@ fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "threads",
         "log-level",
         "trace-out",
+        "record",
+        "sample-every",
+        "metrics-addr",
         "candidate-batch",
         "solve",
     ])?;
@@ -350,6 +421,9 @@ fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "placement",
         "rho",
         "log-level",
+        "record",
+        "sample-every",
+        "metrics-addr",
     ])?;
     let drop_pct = parsed.get_or("drop", 0.0f64)?;
     if !(0.0..100.0).contains(&drop_pct) {
@@ -448,6 +522,9 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "shard-grid",
         "log-level",
         "trace-out",
+        "record",
+        "sample-every",
+        "metrics-addr",
         "candidate-batch",
         "solve",
     ])?;
@@ -542,6 +619,9 @@ fn cmd_mobility(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "shard-grid",
         "log-level",
         "trace-out",
+        "record",
+        "sample-every",
+        "metrics-addr",
         "candidate-batch",
         "solve",
     ])?;
@@ -953,5 +1033,89 @@ mod tests {
         assert!(json.contains("\"online.epoch_build\""));
         // Telemetry is switched off again after the traced run.
         assert!(!dmra_obs::enabled());
+    }
+
+    #[test]
+    fn record_writes_jsonl_flight_records() {
+        let path = std::env::temp_dir().join(format!("dmra-record-{}.jsonl", std::process::id()));
+        let text = run(&[
+            "dynamic",
+            "--rate",
+            "10",
+            "--epochs",
+            "8",
+            "--holding",
+            "2",
+            "--record",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("admitted"));
+        assert!(text.contains("flight record:"), "{text}");
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Every line is a flight record; the dynamic run contributed
+        // `sim.epoch` records (other concurrently running tests may have
+        // appended records of other streams through the global slot).
+        assert!(jsonl.lines().count() >= 8, "{jsonl}");
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with("{\"schema\": \"dmra-flight/1\"")));
+        assert!(jsonl.contains("\"stream\": \"sim.epoch\""));
+        assert!(jsonl.contains("\"digest\":"));
+    }
+
+    #[test]
+    fn protocol_record_emits_round_stream() {
+        let path =
+            std::env::temp_dir().join(format!("dmra-record-proto-{}.jsonl", std::process::id()));
+        run(&[
+            "protocol",
+            "--ues",
+            "60",
+            "--record",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(jsonl.contains("\"stream\": \"proto.round\""), "{jsonl}");
+        assert!(jsonl.contains("\"delivered\":"));
+    }
+
+    #[test]
+    fn sample_every_requires_record_and_rejects_zero() {
+        let err = run(&["dynamic", "--sample-every", "3"]).unwrap_err();
+        assert!(err.to_string().contains("--record"));
+        let path = std::env::temp_dir().join(format!("dmra-se0-{}.jsonl", std::process::id()));
+        let err = run(&[
+            "dynamic",
+            "--record",
+            path.to_str().unwrap(),
+            "--sample-every",
+            "0",
+        ])
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn metrics_addr_binds_and_serves_for_the_run() {
+        let text = run(&[
+            "dynamic",
+            "--rate",
+            "8",
+            "--epochs",
+            "6",
+            "--holding",
+            "2",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        assert!(text.contains("admitted"));
+        let err = run(&["dynamic", "--metrics-addr", "256.0.0.1:0"]).unwrap_err();
+        assert!(err.to_string().contains("metrics server"));
     }
 }

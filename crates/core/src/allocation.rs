@@ -83,6 +83,31 @@ impl Allocation {
         self.assigned.iter().filter(|b| b.is_some()).count()
     }
 
+    /// A 64-bit digest of the assignment vector, folding in each UE's
+    /// slot (BS index + 1, or 0 for cloud) with one multiply–xorshift
+    /// mix per slot (splitmix64-style, word-at-a-time — the recorder
+    /// computes this every epoch, so the byte-wise FNV loop it replaced
+    /// was the dominant recording cost). Equal allocations hash equal
+    /// on every platform, so the flight recorder can expose one
+    /// deterministic "allocator outcome" scalar per epoch that the
+    /// engine-equality contract makes byte-comparable across the
+    /// incremental, event and sharded engines.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut h = SEED ^ (self.assigned.len() as u64).wrapping_mul(MIX);
+        for slot in &self.assigned {
+            let v: u64 = match slot {
+                Some(bs) => u64::from(bs.index()) + 1,
+                None => 0,
+            };
+            h = (h ^ v).wrapping_mul(MIX);
+            h ^= h >> 29;
+        }
+        h
+    }
+
     /// Checks every constraint of the TPM problem (Definition 1) against an
     /// instance:
     ///
@@ -268,6 +293,26 @@ mod tests {
         let mut partial = Allocation::all_cloud(inst.n_ues());
         partial.assign(UeId::new(0), BsId::new(0));
         assert!((inst.forwarded_load(&partial).to_mbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_distinguishes_assignments_and_cloud() {
+        let mut a = Allocation::all_cloud(3);
+        let b = Allocation::all_cloud(3);
+        assert_eq!(a.digest(), b.digest());
+        a.assign(UeId::new(1), BsId::new(0));
+        assert_ne!(a.digest(), b.digest(), "edge vs cloud must differ");
+        let mut c = Allocation::all_cloud(3);
+        c.assign(UeId::new(1), BsId::new(1));
+        assert_ne!(a.digest(), c.digest(), "different BS must differ");
+        let mut a2 = Allocation::all_cloud(3);
+        a2.assign(UeId::new(1), BsId::new(0));
+        assert_eq!(a.digest(), a2.digest(), "equal allocations hash equal");
+        assert_ne!(
+            Allocation::all_cloud(2).digest(),
+            Allocation::all_cloud(3).digest(),
+            "length is part of the digest"
+        );
     }
 
     #[test]

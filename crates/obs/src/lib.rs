@@ -39,20 +39,34 @@
 
 #![forbid(unsafe_code)]
 
+mod expose;
 mod handles;
 mod log;
 mod metrics;
+mod observer;
+mod recorder;
 mod registry;
 mod span;
+mod timeseries;
 mod trace;
 
+pub use crate::expose::{
+    register_scrape_sources, render_prometheus, sanitize_metric_name, scrape_snapshot,
+    MetricsServer, ScrapeGuard,
+};
 pub use crate::handles::{LazyCounter, LazyGauge, LazyHistogram};
 pub use crate::log::{
     capture_start, capture_take, level, log_at, set_level, Level, ParseLevelError,
 };
 pub use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary, HISTOGRAM_BUCKETS};
+pub use crate::observer::{
+    det_projection, epoch_observer, set_epoch_observer, EpochObserver, EpochRecord, FanoutObserver,
+    FieldValue,
+};
+pub use crate::recorder::{Recorder, SharedBuf};
 pub use crate::registry::{global, Registry, Snapshot};
 pub use crate::span::SpanTimer;
+pub use crate::timeseries::{Sample, TimeSeries, TimeSeriesCollector};
 pub use crate::trace::{global_trace, TraceEvent, TraceLog};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -211,6 +211,7 @@ impl Histogram {
             p50: self.percentile(0.50),
             p90: self.percentile(0.90),
             p99: self.percentile(0.99),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
     }
 
@@ -254,6 +255,74 @@ pub struct HistogramSummary {
     pub p90: u64,
     /// 99th-percentile bucket upper bound.
     pub p99: u64,
+    /// Raw per-bucket observation counts. Carrying these in the
+    /// summary lets downstream code subtract two snapshots
+    /// ([`crate::Snapshot::delta`]) and recompute windowed percentiles,
+    /// and lets the Prometheus exposition emit cumulative buckets.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSummary {
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// according to this summary's bucket counts (0 when empty).
+    /// Mirrors [`Histogram::percentile`] but works on an immutable
+    /// summary — including one produced by bucket-wise subtraction.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise difference `self - prev`, summarizing only the
+    /// observations recorded after `prev` was taken. Saturates to an
+    /// empty summary if `prev` is not actually an earlier snapshot of
+    /// the same histogram. `min` is unrecoverable from cumulative
+    /// buckets, so the window's min is approximated by the lower bound
+    /// of the window's lowest occupied bucket.
+    #[must_use]
+    pub fn delta(&self, prev: &HistogramSummary) -> HistogramSummary {
+        let count = self.count.saturating_sub(prev.count);
+        let sum = self.sum.saturating_sub(prev.sum);
+        let buckets: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].saturating_sub(prev.buckets[i]));
+        let lowest = buckets.iter().position(|&b| b > 0);
+        let mut out = HistogramSummary {
+            count,
+            sum,
+            min: match lowest {
+                Some(0) | None => 0,
+                Some(i) => 1u64 << (i - 1),
+            },
+            max: self.max,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets,
+        };
+        if count == 0 {
+            out.max = 0;
+            return out;
+        }
+        out.p50 = out.percentile(0.50);
+        out.p90 = out.percentile(0.90);
+        out.p99 = out.percentile(0.99);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -327,8 +396,30 @@ mod tests {
                 p50: 0,
                 p90: 0,
                 p99: 0,
+                buckets: [0; HISTOGRAM_BUCKETS],
             }
         );
+    }
+
+    #[test]
+    fn summary_delta_isolates_the_window() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let before = h.summary();
+        h.record(1000);
+        h.record(2000);
+        h.record(3000);
+        let d = h.summary().delta(&before);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 6000);
+        assert!(d.min >= 512 && d.min <= 1000, "window min = {}", d.min);
+        assert!(d.p50 >= 1000, "window p50 = {}", d.p50);
+        assert_eq!(d.percentile(0.99), d.p99);
+        let empty = before.delta(&before);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.p99, 0);
     }
 
     #[test]

@@ -203,6 +203,104 @@ impl Snapshot {
             .map(|i| self.counters[i].1)
     }
 
+    /// Looks up a gauge's value by name (`None` if it was never set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// Looks up a histogram's summary by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i].1)
+    }
+
+    /// The per-window difference `self - prev`: counters subtract by
+    /// name (a counter absent from `prev` keeps its current value),
+    /// gauges keep their current reading (they are levels, not flows),
+    /// and histograms subtract bucket-wise with window percentiles
+    /// recomputed from the bucket difference. This is the primitive the
+    /// flight recorder's time series is built from — each per-epoch
+    /// [`crate::Sample`] is `snapshot.delta(&previous_snapshot)`.
+    #[must_use]
+    pub fn delta(&self, prev: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(prev.counter(k).unwrap_or(0))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, s)| match prev.histogram(k) {
+                    Some(p) => (k.clone(), s.delta(p)),
+                    None => (k.clone(), *s),
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds `other` into this snapshot: counters and histogram buckets
+    /// add, gauges keep the maximum. Mirrors [`Registry::merge`] but on
+    /// immutable copies — the live `/metrics` endpoint uses this to
+    /// combine per-shard registries at scrape time without touching the
+    /// workers' hot path.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, theirs) in &other.counters {
+            match self.counters.binary_search_by(|(k, _)| k.cmp(name)) {
+                Ok(i) => self.counters[i].1 += theirs,
+                Err(i) => self.counters.insert(i, (name.clone(), *theirs)),
+            }
+        }
+        for (name, theirs) in &other.gauges {
+            match self.gauges.binary_search_by(|(k, _)| k.cmp(name)) {
+                Ok(i) => self.gauges[i].1 = self.gauges[i].1.max(*theirs),
+                Err(i) => self.gauges.insert(i, (name.clone(), *theirs)),
+            }
+        }
+        for (name, theirs) in &other.histograms {
+            match self.histograms.binary_search_by(|(k, _)| k.cmp(name)) {
+                Ok(i) => {
+                    let mine = &mut self.histograms[i].1;
+                    let count = mine.count + theirs.count;
+                    let sum = mine.sum + theirs.sum;
+                    let mut merged = HistogramSummary {
+                        count,
+                        sum,
+                        min: match (mine.count, theirs.count) {
+                            (0, _) => theirs.min,
+                            (_, 0) => mine.min,
+                            _ => mine.min.min(theirs.min),
+                        },
+                        max: mine.max.max(theirs.max),
+                        mean: if count == 0 {
+                            0.0
+                        } else {
+                            sum as f64 / count as f64
+                        },
+                        p50: 0,
+                        p90: 0,
+                        p99: 0,
+                        buckets: std::array::from_fn(|b| mine.buckets[b] + theirs.buckets[b]),
+                    };
+                    merged.p50 = merged.percentile(0.50);
+                    merged.p90 = merged.percentile(0.90);
+                    merged.p99 = merged.percentile(0.99);
+                    *mine = merged;
+                }
+                Err(i) => self.histograms.insert(i, (name.clone(), *theirs)),
+            }
+        }
+    }
+
     /// Renders the snapshot as a JSON object (hand-rolled: the
     /// workspace's vendored serde stub cannot derive serialization).
     /// Schema: `{"counters": {name: u64, ...}, "gauges": {...},
@@ -358,6 +456,44 @@ mod tests {
         assert_eq!(c.get(), 0);
         c.inc();
         assert_eq!(reg.counter("a").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let reg = Registry::new();
+        reg.counter("sim.arrivals").add(5);
+        reg.gauge("sim.in_service").set(3);
+        reg.histogram("sim.solve_ns").record(100);
+        let prev = reg.snapshot();
+        reg.counter("sim.arrivals").add(7);
+        reg.counter("cache.hits").add(2);
+        reg.gauge("sim.in_service").set(9);
+        reg.histogram("sim.solve_ns").record(4000);
+        let d = reg.snapshot().delta(&prev);
+        assert_eq!(d.counter("sim.arrivals"), Some(7));
+        assert_eq!(d.counter("cache.hits"), Some(2), "new counter kept");
+        assert_eq!(d.gauge("sim.in_service"), Some(9), "gauges stay levels");
+        let h = d.histogram("sim.solve_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 4000);
+        assert!(h.p50 >= 4000, "window p50 = {}", h.p50);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_registry_merge() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("cells").add(1);
+        b.counter("cells").add(9);
+        b.counter("only_b").add(4);
+        a.gauge("hw").set(5);
+        b.gauge("hw").set(3);
+        a.histogram("ns").record(100);
+        b.histogram("ns").record(300);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(merged, a.snapshot());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! A fixed-capacity ring buffer of per-epoch metric windows.
+//!
+//! Each [`Sample`] is the difference between consecutive registry
+//! snapshots ([`crate::Snapshot::delta`]): a *flow* view (what
+//! happened this window) of metrics that are stored cumulatively.
+//! Deltas rather than cumulative values because (a) rates fall out of
+//! a window without remembering the previous scrape, and (b) windowed
+//! histogram percentiles — "p99 solve time over the last epoch", the
+//! number regressions actually show up in — cannot be recovered from
+//! cumulative buckets after the fact.
+//!
+//! [`TimeSeriesCollector`] is the [`EpochObserver`] adapter: on every
+//! sampled record it snapshots the global registry, computes the delta
+//! against the previous snapshot, and pushes a sample into a bounded
+//! [`TimeSeries`] (old samples fall off the front; the drop count is
+//! kept so consumers know the window is truncated).
+
+use crate::observer::{EpochObserver, EpochRecord};
+use crate::registry::{global, Snapshot};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One per-window sample: the record index it was taken at and the
+/// metric flows observed since the previous sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Index of the record (epoch / round / cell) that closed the
+    /// window.
+    pub index: u64,
+    /// Per-window metric difference (see [`crate::Snapshot::delta`]).
+    pub delta: Snapshot,
+}
+
+impl Sample {
+    /// Events per second: `counter`'s window delta divided by the
+    /// window's wall time, taken from the sum of `ns_hist`'s window
+    /// observations. `None` when the window recorded no time.
+    #[must_use]
+    pub fn rate_per_sec(&self, counter: &str, ns_hist: &str) -> Option<f64> {
+        let events = self.delta.counter(counter)?;
+        let ns = self.delta.histogram(ns_hist)?.sum;
+        if ns == 0 {
+            return None;
+        }
+        Some(events as f64 / (ns as f64 / 1e9))
+    }
+
+    /// `hits / (hits + misses)` over the window (`None` when neither
+    /// counter moved).
+    #[must_use]
+    pub fn hit_rate(&self, hits: &str, misses: &str) -> Option<f64> {
+        let h = self.delta.counter(hits).unwrap_or(0);
+        let m = self.delta.counter(misses).unwrap_or(0);
+        if h + m == 0 {
+            return None;
+        }
+        Some(h as f64 / (h + m) as f64)
+    }
+
+    /// The `q`-quantile of `hist`'s observations within the window
+    /// (bucket upper bound; `None` if the histogram is absent or the
+    /// window is empty).
+    #[must_use]
+    pub fn percentile(&self, hist: &str, q: f64) -> Option<u64> {
+        let s = self.delta.histogram(hist)?;
+        if s.count == 0 {
+            return None;
+        }
+        Some(s.percentile(q))
+    }
+}
+
+/// A bounded ring buffer of [`Sample`]s.
+#[derive(Debug, Default)]
+pub struct TimeSeries {
+    samples: VecDeque<Sample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series that retains at most `capacity` samples
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            samples: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted so far due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained samples oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// The most recent sample, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&Sample> {
+        self.samples.back()
+    }
+
+    /// Mean over retained samples of a per-sample statistic (skipping
+    /// samples where it is undefined). Used for end-of-run digests
+    /// like "mean arrivals/s across the flight".
+    pub fn mean_of(&self, f: impl Fn(&Sample) -> Option<f64>) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            if let Some(v) = f(s) {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+struct CollectorInner {
+    prev: Option<Snapshot>,
+    series: TimeSeries,
+}
+
+/// [`EpochObserver`] adapter that materializes a [`TimeSeries`] from
+/// the global registry, one delta per sampled record.
+pub struct TimeSeriesCollector {
+    inner: Mutex<CollectorInner>,
+    sample_every: u64,
+}
+
+impl TimeSeriesCollector {
+    /// Collects every `sample_every`-th record into a series retaining
+    /// `capacity` windows.
+    #[must_use]
+    pub fn new(capacity: usize, sample_every: u64) -> Self {
+        Self {
+            inner: Mutex::new(CollectorInner {
+                prev: None,
+                series: TimeSeries::new(capacity),
+            }),
+            sample_every: sample_every.max(1),
+        }
+    }
+
+    /// Takes the collected series, leaving an empty one behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector mutex was poisoned.
+    #[must_use]
+    pub fn take_series(&self) -> TimeSeries {
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        let capacity = inner.series.capacity;
+        std::mem::replace(&mut inner.series, TimeSeries::new(capacity))
+    }
+}
+
+impl EpochObserver for TimeSeriesCollector {
+    fn on_record(&self, record: &EpochRecord) {
+        if !record.index.is_multiple_of(self.sample_every) {
+            return;
+        }
+        let snap = global().snapshot();
+        let mut inner = self.inner.lock().expect("collector poisoned");
+        let delta = match &inner.prev {
+            Some(prev) => snap.delta(prev),
+            None => snap.clone(),
+        };
+        inner.series.push(Sample {
+            index: record.index,
+            delta,
+        });
+        inner.prev = Some(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_from(reg: &Registry, prev: &Snapshot, index: u64) -> (Sample, Snapshot) {
+        let snap = reg.snapshot();
+        (
+            Sample {
+                index,
+                delta: snap.delta(prev),
+            },
+            snap,
+        )
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut ts = TimeSeries::new(2);
+        let reg = Registry::new();
+        let mut prev = reg.snapshot();
+        for i in 0..5 {
+            reg.counter("sim.arrivals").add(i + 1);
+            let (s, snap) = sample_from(&reg, &prev, i);
+            prev = snap;
+            ts.push(s);
+        }
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.dropped(), 3);
+        let indices: Vec<u64> = ts.iter().map(|s| s.index).collect();
+        assert_eq!(indices, vec![3, 4]);
+        assert_eq!(ts.latest().unwrap().delta.counter("sim.arrivals"), Some(5));
+    }
+
+    #[test]
+    fn derived_rates_use_window_deltas() {
+        let reg = Registry::new();
+        reg.counter("sim.arrivals").add(100);
+        reg.counter("cache.hits").add(1);
+        reg.counter("cache.misses").add(1);
+        reg.histogram("sim.epoch_ns").record(1_000_000_000);
+        let prev = reg.snapshot();
+        reg.counter("sim.arrivals").add(50);
+        reg.counter("cache.hits").add(3);
+        reg.counter("cache.misses").add(1);
+        reg.histogram("sim.epoch_ns").record(2_000_000_000);
+        reg.histogram("sim.solve_ns").record(4096);
+        let (s, _) = sample_from(&reg, &prev, 1);
+        let rate = s.rate_per_sec("sim.arrivals", "sim.epoch_ns").unwrap();
+        assert!((rate - 25.0).abs() < 1e-9, "rate = {rate}");
+        let hit = s.hit_rate("cache.hits", "cache.misses").unwrap();
+        assert!((hit - 0.75).abs() < 1e-9, "hit rate = {hit}");
+        assert!(s.percentile("sim.solve_ns", 0.99).unwrap() >= 4096);
+        assert_eq!(s.percentile("absent", 0.5), None);
+    }
+
+    #[test]
+    fn mean_of_skips_undefined_windows() {
+        let mut ts = TimeSeries::new(8);
+        let reg = Registry::new();
+        let mut prev = reg.snapshot();
+        for i in 0..3 {
+            if i != 1 {
+                reg.counter("n").add(4);
+                reg.histogram("ns").record(1_000_000_000);
+            }
+            let (s, snap) = sample_from(&reg, &prev, i);
+            prev = snap;
+            ts.push(s);
+        }
+        let mean = ts.mean_of(|s| s.rate_per_sec("n", "ns")).unwrap();
+        assert!((mean - 4.0).abs() < 1e-9, "mean = {mean}");
+    }
+}

@@ -170,6 +170,23 @@ impl<M: MessageKind> RoundEngine<M> {
         max_rounds: usize,
         observer: &mut dyn FnMut(RoundTrace),
     ) -> Result<RunStats> {
+        // Telemetry is observe-only and off the hot path: the registry
+        // counters and the flight-record stream are touched once per
+        // *round*, never per message, and neither feeds back into drop
+        // or delay sampling. The flight observer is only reachable via
+        // the process-wide slot — `run_decentralized` constructs its
+        // engine internally, so there is no `with_observer` path here.
+        let obs_on = dmra_obs::enabled();
+        let flight = dmra_obs::epoch_observer();
+        let proto_counters = obs_on.then(|| {
+            let g = dmra_obs::global();
+            (
+                g.counter("proto.rounds"),
+                g.counter("proto.messages_sent"),
+                g.counter("proto.messages_dropped"),
+                g.counter("proto.delayed_deliveries"),
+            )
+        });
         // Agents act in ascending address order regardless of how they were
         // registered — part of the determinism contract.
         self.agents.sort_by_key(|a| a.address());
@@ -215,6 +232,7 @@ impl<M: MessageKind> RoundEngine<M> {
             let quiescent = next.is_empty() && pending.is_empty();
             let mut sent = 0u64;
             let mut dropped = 0u64;
+            let mut delayed = 0u64;
             for env in next {
                 if self.drop_policy.should_drop() {
                     dropped += 1;
@@ -224,19 +242,45 @@ impl<M: MessageKind> RoundEngine<M> {
                     stats.messages_sent += 1;
                     stats.bytes_sent += env.msg.size_bytes() as u64;
                     *stats.by_kind.entry(env.msg.kind()).or_insert(0) += 1;
-                    pending.push((round + 1 + sampler.next_extra() as usize, env));
+                    let extra = sampler.next_extra() as usize;
+                    if extra > 0 {
+                        delayed += 1;
+                    }
+                    pending.push((round + 1 + extra, env));
                 }
             }
-            observer(RoundTrace {
+            let trace = RoundTrace {
                 round,
                 delivered,
                 sent,
                 dropped,
                 in_flight: pending.len() as u64,
-            });
+            };
+            observer(trace);
+            if let Some((rounds_c, sent_c, dropped_c, delayed_c)) = &proto_counters {
+                rounds_c.inc();
+                sent_c.add(sent);
+                dropped_c.add(dropped);
+                delayed_c.add(delayed);
+            }
+            if let Some(flight) = &flight {
+                flight.on_record(
+                    &dmra_obs::EpochRecord::new("proto.round", round as u64)
+                        .det("delivered", trace.delivered)
+                        .det("sent", sent)
+                        .det("dropped", dropped)
+                        .det("in_flight", trace.in_flight)
+                        .aux("delayed", delayed),
+                );
+            }
             if quiescent {
                 silent_streak += 1;
                 if silent_streak >= self.quiescence_grace {
+                    if obs_on {
+                        dmra_obs::global()
+                            .histogram("proto.rounds_to_converge")
+                            .record(stats.rounds as u64);
+                    }
                     return Ok(stats);
                 }
             } else {

@@ -74,7 +74,7 @@ use dmra_core::{
     Threads,
 };
 use dmra_geo::rng::component_rng;
-use dmra_obs::obs_warn;
+use dmra_obs::{obs_warn, EpochObserver, EpochRecord};
 use dmra_par::WorkerPool;
 use dmra_types::{
     BitsPerSec, BsId, BsSpec, Cru, Error, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
@@ -284,6 +284,7 @@ struct ActiveTask {
 pub struct DynamicSimulator {
     config: DynamicConfig,
     allocator: Box<dyn Allocator>,
+    observer: Option<Arc<dyn EpochObserver>>,
 }
 
 impl fmt::Debug for DynamicSimulator {
@@ -291,6 +292,7 @@ impl fmt::Debug for DynamicSimulator {
         f.debug_struct("DynamicSimulator")
             .field("config", &self.config)
             .field("allocator", &self.allocator.name())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -308,7 +310,24 @@ impl DynamicSimulator {
     /// holding times regardless of the allocator).
     #[must_use]
     pub fn with_allocator(config: DynamicConfig, allocator: Box<dyn Allocator>) -> Self {
-        Self { config, allocator }
+        Self {
+            config,
+            allocator,
+            observer: None,
+        }
+    }
+
+    /// Attaches an [`EpochObserver`] (flight recorder, time-series
+    /// collector, …) that receives one `"sim.epoch"` record per epoch
+    /// from every engine. Without an explicit attachment the engines
+    /// fall back to the process-wide slot
+    /// ([`dmra_obs::set_epoch_observer`]). Observe-only: records are
+    /// built after each epoch's bookkeeping is committed, so outcomes
+    /// stay bit-identical with or without an observer.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn EpochObserver>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Runs the simulation to the horizon with the **incremental engine**:
@@ -343,13 +362,20 @@ impl DynamicSimulator {
         // recording happens after the epoch's bookkeeping is committed, so
         // the engine stays bit-identical to `run_scratch`.
         let obs_on = dmra_obs::enabled();
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
 
         for epoch in 0..cfg.epochs {
             let epoch_started = obs_on.then(std::time::Instant::now);
             let admitted_before = state.outcome.admitted;
+            let cloud_before = state.outcome.cloud_forwarded;
+            let completed_before = state.outcome.completed;
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
             state.release_departures(epoch);
             let n_new = poisson(cfg.arrival_rate, &mut rng);
             state.outcome.arrivals += n_new as u64;
+            let mut solve_ns = 0u64;
+            let mut digest = 0u64;
             if n_new > 0 {
                 let ues = self.draw_arrivals(n_new, &mut rng);
                 // Draw holding times for *every* arrival up front so the
@@ -361,11 +387,17 @@ impl DynamicSimulator {
                 let instance = ctx.epoch_instance(&state.rem_cru, &state.rem_rrb, ues)?;
                 let solve_started = obs_on.then(std::time::Instant::now);
                 let allocation = session.allocate(instance);
-                record_solve_phase(obs_on, solve_started);
+                solve_ns = record_solve_phase(obs_on, solve_started);
                 debug_assert!(allocation.validate(instance).is_ok());
+                if observer.is_some() {
+                    digest = allocation.digest();
+                }
                 state.commit_epoch(instance, &allocation, &offsets, epoch);
             }
             state.finish_epoch();
+            let epoch_ns = epoch_started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
             if obs_on {
                 // Cached handles: one atomic op per metric per epoch.
                 static EPOCHS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.epochs");
@@ -374,9 +406,6 @@ impl DynamicSimulator {
                     dmra_obs::LazyHistogram::new("sim.epoch_ns");
                 EPOCHS.get().inc();
                 ARRIVALS.get().add(n_new as u64);
-                let epoch_ns = epoch_started.map_or(0, |t| {
-                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
-                });
                 EPOCH_NS.get().record(epoch_ns);
                 dmra_obs::global_trace().record(dmra_obs::TraceEvent {
                     name: "sim.epoch",
@@ -398,6 +427,24 @@ impl DynamicSimulator {
                         ("wall_ns", epoch_ns as f64),
                     ],
                 });
+            }
+            if let Some(obs) = &observer {
+                let record = push_common_aux(
+                    finished_epoch_record(
+                        epoch,
+                        n_new,
+                        &state.outcome,
+                        admitted_before,
+                        cloud_before,
+                        completed_before,
+                        digest,
+                    ),
+                    epoch_ns,
+                    solve_ns,
+                    aux_counters.as_ref().expect("fetched alongside observer"),
+                    aux_before,
+                );
+                obs.on_record(&record);
             }
         }
         Ok(state.outcome)
@@ -458,6 +505,13 @@ impl DynamicSimulator {
         let (slots, registries) = shard::build_slots(&deployment, grid, false);
         let pool = WorkerPool::new(slots);
         let obs_on = dmra_obs::enabled();
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
+        // While the run is in flight the per-shard registries are only
+        // merged into the global one at the end; registering them as
+        // live scrape sources lets a concurrent `/metrics` scrape see
+        // shard-local counters mid-run.
+        let scrape_guard = obs_on.then(|| dmra_obs::register_scrape_sources(&registries));
         let worker = shard::row_build_worker(obs_on);
         // The coordinator context assembles the merged instance and
         // performs the global validation (budgets, UEs, pricing margin).
@@ -471,15 +525,24 @@ impl DynamicSimulator {
         for epoch in 0..cfg.epochs {
             let epoch_started = obs_on.then(std::time::Instant::now);
             let admitted_before = state.outcome.admitted;
+            let cloud_before = state.outcome.cloud_forwarded;
+            let completed_before = state.outcome.completed;
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
             state.release_departures(epoch);
             let n_new = poisson(cfg.arrival_rate, &mut rng);
             state.outcome.arrivals += n_new as u64;
+            let mut solve_ns = 0u64;
+            let mut digest = 0u64;
+            let mut shard_load: Option<Vec<u64>> = None;
             if n_new > 0 {
                 let ues = self.draw_arrivals(n_new, &mut rng);
                 let offsets: Vec<f64> = (0..n_new)
                     .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
                     .collect();
                 let (owners, batches) = shard::route(grid, &ues);
+                if observer.is_some() {
+                    shard_load = Some(batches.iter().map(|b| b.len() as u64).collect());
+                }
                 // Budgets move into a shared read-only snapshot for the
                 // barrier, then back — no copy on the happy path.
                 let budgets = Arc::new(EpochBudgets {
@@ -512,11 +575,17 @@ impl DynamicSimulator {
                 )?;
                 let solve_started = obs_on.then(std::time::Instant::now);
                 let allocation = session.allocate(instance);
-                record_solve_phase(obs_on, solve_started);
+                solve_ns = record_solve_phase(obs_on, solve_started);
                 debug_assert!(allocation.validate(instance).is_ok());
+                if observer.is_some() {
+                    digest = allocation.digest();
+                }
                 state.commit_epoch(instance, &allocation, &offsets, epoch);
             }
             state.finish_epoch();
+            let epoch_ns = epoch_started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
             if obs_on {
                 // Same stream names as the incremental engine, so traces
                 // from sharded and unsharded runs line up epoch for epoch.
@@ -526,9 +595,6 @@ impl DynamicSimulator {
                     dmra_obs::LazyHistogram::new("sim.epoch_ns");
                 EPOCHS.get().inc();
                 ARRIVALS.get().add(n_new as u64);
-                let epoch_ns = epoch_started.map_or(0, |t| {
-                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
-                });
                 EPOCH_NS.get().record(epoch_ns);
                 dmra_obs::global_trace().record(dmra_obs::TraceEvent {
                     name: "sim.epoch",
@@ -551,7 +617,29 @@ impl DynamicSimulator {
                     ],
                 });
             }
+            if let Some(obs) = &observer {
+                let mut record = push_common_aux(
+                    finished_epoch_record(
+                        epoch,
+                        n_new,
+                        &state.outcome,
+                        admitted_before,
+                        cloud_before,
+                        completed_before,
+                        digest,
+                    ),
+                    epoch_ns,
+                    solve_ns,
+                    aux_counters.as_ref().expect("fetched alongside observer"),
+                    aux_before,
+                );
+                record = record.aux("shard_load", shard_load.unwrap_or_default());
+                obs.on_record(&record);
+            }
         }
+        // Unregister the live scrape sources *before* folding the shard
+        // registries into the global one, so no scrape double-counts.
+        drop(scrape_guard);
         if obs_on {
             shard::merge_registries(&registries);
         }
@@ -584,9 +672,15 @@ impl DynamicSimulator {
         let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
         let mut state = EventState::new(deployment.bss(), cfg.epochs);
         let obs_on = dmra_obs::enabled();
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
 
         for epoch in 0..cfg.epochs {
             let now = epoch as f64;
+            let admitted_before = state.outcome.admitted;
+            let cloud_before = state.outcome.cloud_forwarded;
+            let completed_before = state.outcome.completed;
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
             state.release_due(now);
             let n_new = poisson(cfg.arrival_rate, &mut rng);
             state.outcome.arrivals += n_new as u64;
@@ -600,10 +694,30 @@ impl DynamicSimulator {
                         dmra_obs::LazyCounter::new("sim.idle_epochs");
                     IDLE.get().inc();
                 }
+                if let Some(obs) = &observer {
+                    // One record per *epoch*, idle or not, so the event
+                    // engine's record stream lines up byte for byte with
+                    // the fixed-epoch engines'.
+                    let record = push_common_aux(
+                        finished_epoch_record(
+                            epoch,
+                            0,
+                            &state.outcome,
+                            admitted_before,
+                            cloud_before,
+                            completed_before,
+                            0,
+                        ),
+                        0,
+                        0,
+                        aux_counters.as_ref().expect("fetched alongside observer"),
+                        aux_before,
+                    );
+                    obs.on_record(&record);
+                }
                 continue;
             }
             let event_started = obs_on.then(std::time::Instant::now);
-            let admitted_before = state.outcome.admitted;
             let ues = self.draw_arrivals(n_new, &mut rng);
             let offsets: Vec<f64> = (0..n_new)
                 .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
@@ -611,10 +725,36 @@ impl DynamicSimulator {
             let instance = ctx.event_instance(now, &state.rem_cru, &state.rem_rrb, ues)?;
             let solve_started = obs_on.then(std::time::Instant::now);
             let allocation = session.allocate(instance);
-            record_solve_phase(obs_on, solve_started);
+            let solve_ns = record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(instance).is_ok());
+            let digest = if observer.is_some() {
+                allocation.digest()
+            } else {
+                0
+            };
             state.commit_event(instance, &allocation, &offsets, now);
             state.record_epoch();
+            let event_ns = event_started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            if let Some(obs) = &observer {
+                let record = push_common_aux(
+                    finished_epoch_record(
+                        epoch,
+                        n_new,
+                        &state.outcome,
+                        admitted_before,
+                        cloud_before,
+                        completed_before,
+                        digest,
+                    ),
+                    event_ns,
+                    solve_ns,
+                    aux_counters.as_ref().expect("fetched alongside observer"),
+                    aux_before,
+                );
+                obs.on_record(&record);
+            }
             if obs_on {
                 // Event-loop telemetry mirroring the epoch engine's
                 // `sim.epochs`/`sim.arrivals`/`sim.epoch_ns`/`sim.epoch`
@@ -626,9 +766,6 @@ impl DynamicSimulator {
                     dmra_obs::LazyHistogram::new("sim.event_ns");
                 EVENTS.get().inc();
                 EVENT_ARRIVALS.get().add(n_new as u64);
-                let event_ns = event_started.map_or(0, |t| {
-                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
-                });
                 EVENT_NS.get().record(event_ns);
                 dmra_obs::global_trace().record(dmra_obs::TraceEvent {
                     name: "sim.event",
@@ -684,11 +821,20 @@ impl DynamicSimulator {
         let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
         let mut state = EngineState::new(deployment.bss(), cfg.epochs);
         let obs_on = dmra_obs::enabled();
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
 
         for epoch in 0..cfg.epochs {
+            let epoch_started = obs_on.then(std::time::Instant::now);
+            let admitted_before = state.outcome.admitted;
+            let cloud_before = state.outcome.cloud_forwarded;
+            let completed_before = state.outcome.completed;
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
             state.release_departures(epoch);
             let n_new = poisson(cfg.arrival_rate, &mut rng);
             state.outcome.arrivals += n_new as u64;
+            let mut solve_ns = 0u64;
+            let mut digest = 0u64;
             if n_new > 0 {
                 let ues = self.draw_arrivals(n_new, &mut rng);
                 let offsets: Vec<f64> = (0..n_new)
@@ -703,11 +849,35 @@ impl DynamicSimulator {
                 )?;
                 let solve_started = obs_on.then(std::time::Instant::now);
                 let allocation = self.allocator.allocate(&instance);
-                record_solve_phase(obs_on, solve_started);
+                solve_ns = record_solve_phase(obs_on, solve_started);
                 debug_assert!(allocation.validate(&instance).is_ok());
+                if observer.is_some() {
+                    digest = allocation.digest();
+                }
                 state.commit_epoch(&instance, &allocation, &offsets, epoch);
             }
             state.finish_epoch();
+            if let Some(obs) = &observer {
+                let epoch_ns = epoch_started.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                let record = push_common_aux(
+                    finished_epoch_record(
+                        epoch,
+                        n_new,
+                        &state.outcome,
+                        admitted_before,
+                        cloud_before,
+                        completed_before,
+                        digest,
+                    ),
+                    epoch_ns,
+                    solve_ns,
+                    aux_counters.as_ref().expect("fetched alongside observer"),
+                    aux_before,
+                );
+                obs.on_record(&record);
+            }
         }
         Ok(state.outcome)
     }
@@ -973,15 +1143,112 @@ impl EventState {
 /// departure bookkeeping), which `sim.epoch_ns` lumps together. Observe
 /// only: called after the allocation exists, records nothing when
 /// telemetry is off.
-pub(crate) fn record_solve_phase(obs_on: bool, solve_started: Option<std::time::Instant>) {
+pub(crate) fn record_solve_phase(obs_on: bool, solve_started: Option<std::time::Instant>) -> u64 {
     if !obs_on {
-        return;
+        return 0;
     }
     static SOLVE_NS: dmra_obs::LazyHistogram = dmra_obs::LazyHistogram::new("sim.solve_ns");
     let solve_ns = solve_started.map_or(0, |t| {
         u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
     });
     SOLVE_NS.get().record(solve_ns);
+    solve_ns
+}
+
+/// Handles to the global counters surfaced as per-epoch deltas in a
+/// flight record's aux section (row-cache traffic, component counts).
+/// Fetched once per run, and only when an observer is attached.
+pub(crate) struct AuxCounters {
+    hits: Arc<dmra_obs::Counter>,
+    misses: Arc<dmra_obs::Counter>,
+    components: Arc<dmra_obs::Counter>,
+}
+
+impl AuxCounters {
+    pub(crate) fn fetch() -> Self {
+        let g = dmra_obs::global();
+        Self {
+            hits: g.counter("online.row_cache_hits"),
+            misses: g.counter("online.row_cache_misses"),
+            components: g.counter("core.components"),
+        }
+    }
+
+    /// Current cumulative `(hits, misses, components)` readings.
+    pub(crate) fn read(&self) -> (u64, u64, u64) {
+        (self.hits.get(), self.misses.get(), self.components.get())
+    }
+}
+
+/// Appends the standard aux fields shared by the dynamic engines:
+/// wall/solve timing plus per-epoch row-cache and component-count
+/// deltas against the `before` reading.
+pub(crate) fn push_common_aux(
+    record: EpochRecord,
+    wall_ns: u64,
+    solve_ns: u64,
+    counters: &AuxCounters,
+    before: (u64, u64, u64),
+) -> EpochRecord {
+    let (hits, misses, components) = counters.read();
+    record
+        .aux("wall_ns", wall_ns)
+        .aux("solve_ns", solve_ns)
+        .aux("row_cache_hits", hits - before.0)
+        .aux("row_cache_misses", misses - before.1)
+        .aux("components", components - before.2)
+}
+
+/// Builds the engine-independent `det` section of a `"sim.epoch"`
+/// flight record. Every dynamic engine goes through this one helper so
+/// field order and content are byte-identical across engines — which
+/// is exactly what `tests/recorder.rs` pins. `digest` is the epoch
+/// allocation's [`Allocation::digest`] (0 for an epoch with no
+/// arrivals, uniformly across engines).
+#[allow(clippy::too_many_arguments)]
+fn epoch_det_record(
+    epoch: usize,
+    arrivals: usize,
+    admitted: u64,
+    cloud: u64,
+    departed: u64,
+    in_service: usize,
+    occupancy: f64,
+    digest: u64,
+) -> EpochRecord {
+    EpochRecord::new("sim.epoch", epoch as u64)
+        .det("arrivals", arrivals)
+        .det("admitted", admitted)
+        .det("cloud", cloud)
+        .det("departed", departed)
+        .det("in_service", in_service)
+        .det("occupancy", occupancy)
+        .det("digest", digest)
+}
+
+/// The det record for the epoch just finished, reading the end-of-epoch
+/// occupancy / in-service samples off the outcome vectors (identical
+/// accounting in every engine).
+#[allow(clippy::too_many_arguments)]
+fn finished_epoch_record(
+    epoch: usize,
+    arrivals: usize,
+    outcome: &DynamicOutcome,
+    admitted_before: u64,
+    cloud_before: u64,
+    completed_before: u64,
+    digest: u64,
+) -> EpochRecord {
+    epoch_det_record(
+        epoch,
+        arrivals,
+        outcome.admitted - admitted_before,
+        outcome.cloud_forwarded - cloud_before,
+        outcome.completed - completed_before,
+        outcome.in_service.last().copied().unwrap_or(0),
+        outcome.rrb_occupancy.last().copied().unwrap_or(0.0),
+        digest,
+    )
 }
 
 /// λ above which [`poisson`] switches from exact inversion to the normal

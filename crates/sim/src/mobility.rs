@@ -45,12 +45,14 @@
 //! ```
 
 use crate::config::ScenarioConfig;
+use crate::dynamic::{push_common_aux, AuxCounters};
 use crate::shard::{self, EpochBudgets, ShardGrid, ShardJob};
 use dmra_core::{
     Allocation, Allocator, CandidateLink, CandidateScan, DeploymentContext, Dmra, ProblemInstance,
     Threads,
 };
 use dmra_geo::rng::component_rng;
+use dmra_obs::{EpochObserver, EpochRecord};
 use dmra_par::WorkerPool;
 use dmra_types::{Cru, Error, Money, Point, Rect, Result, RrbCount, UeId, UeSpec};
 use rand::rngs::StdRng;
@@ -135,6 +137,7 @@ struct Kinematics {
 pub struct MobilitySimulator {
     config: MobilityConfig,
     allocator: Box<dyn Allocator>,
+    observer: Option<Arc<dyn EpochObserver>>,
 }
 
 impl std::fmt::Debug for MobilitySimulator {
@@ -142,6 +145,7 @@ impl std::fmt::Debug for MobilitySimulator {
         f.debug_struct("MobilitySimulator")
             .field("config", &self.config)
             .field("allocator", &self.allocator.name())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -153,6 +157,7 @@ impl MobilitySimulator {
         Self {
             config,
             allocator: Box::new(Dmra::default()),
+            observer: None,
         }
     }
 
@@ -161,6 +166,16 @@ impl MobilitySimulator {
     #[must_use]
     pub fn with_allocator(mut self, allocator: Box<dyn Allocator>) -> Self {
         self.allocator = allocator;
+        self
+    }
+
+    /// Attaches an [`EpochObserver`] receiving one `"mobility.epoch"`
+    /// record per epoch from every engine (falls back to the
+    /// process-wide [`dmra_obs::set_epoch_observer`] slot when unset).
+    /// Observe-only — outcomes stay bit-identical.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn EpochObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -199,7 +214,12 @@ impl MobilitySimulator {
         let mut previous: Option<Allocation> = None;
         let mut outcome = empty_outcome(cfg.epochs);
         let obs_on = dmra_obs::enabled();
-        for _epoch in 0..cfg.epochs {
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
+        for epoch in 0..cfg.epochs {
+            let epoch_started = observer.as_ref().map(|_| std::time::Instant::now());
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
+            let mob_before = (outcome.handovers, outcome.drops, outcome.recoveries);
             let instance = ctx.epoch_instance(&full_cru, &full_rrb, ues.clone())?;
             // The timed slice covers the allocator solve including the
             // sticky residual re-match (split + residual assembly), i.e.
@@ -220,9 +240,19 @@ impl MobilitySimulator {
                 }
                 _ => session.allocate(instance),
             };
-            crate::dynamic::record_solve_phase(obs_on, solve_started);
+            let solve_ns = crate::dynamic::record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(instance).is_ok());
             account_epoch(&mut outcome, instance, &allocation, previous.as_ref());
+            if let (Some(obs), Some(counters)) = (&observer, &aux_counters) {
+                let record = push_common_aux(
+                    mobility_det_record(epoch, &outcome, mob_before, allocation.digest()),
+                    elapsed_ns(epoch_started),
+                    solve_ns,
+                    counters,
+                    aux_before,
+                );
+                obs.on_record(&record);
+            }
             previous = Some(allocation);
             advance_waypoints(&mut ues, &mut kin, region, cfg.epoch_seconds, &mut rng);
         }
@@ -285,6 +315,10 @@ impl MobilitySimulator {
         let (slots, registries) = shard::build_slots(&initial, grid, true);
         let pool = WorkerPool::new(slots);
         let obs_on = dmra_obs::enabled();
+        // Expose the live shard registries to mid-run /metrics scrapes;
+        // the guard is dropped before `merge_registries` folds them into
+        // the global registry, so nothing is ever double-counted.
+        let scrape_guard = obs_on.then(|| dmra_obs::register_scrape_sources(&registries));
         let worker = shard::row_build_worker(obs_on);
         let mut asm = DeploymentContext::new(&initial);
         // Sticky re-matching solves against churning residual budgets on
@@ -298,7 +332,13 @@ impl MobilitySimulator {
         let mut outcome = empty_outcome(cfg.epochs);
         let mut merged_links: Vec<CandidateLink> = Vec::new();
         let mut merged_starts: Vec<usize> = Vec::new();
-        for _epoch in 0..cfg.epochs {
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
+        for epoch in 0..cfg.epochs {
+            let epoch_started = observer.as_ref().map(|_| std::time::Instant::now());
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
+            let mob_before = (outcome.handovers, outcome.drops, outcome.recoveries);
+            let seam_before = shard_handovers;
             let (owners, batches) = shard::route(grid, &ues);
             if !prev_owners.is_empty() {
                 shard_handovers += owners
@@ -307,6 +347,9 @@ impl MobilitySimulator {
                     .filter(|(now, before)| now != before)
                     .count() as u64;
             }
+            let shard_load: Option<Vec<u64>> = observer
+                .as_ref()
+                .map(|_| batches.iter().map(|b| b.len() as u64).collect());
             let jobs: Vec<ShardJob> = batches
                 .into_iter()
                 .map(|batch| (Arc::clone(&budgets), batch))
@@ -338,13 +381,26 @@ impl MobilitySimulator {
                 }
                 _ => session.allocate(instance),
             };
-            crate::dynamic::record_solve_phase(obs_on, solve_started);
+            let solve_ns = crate::dynamic::record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(instance).is_ok());
             account_epoch(&mut outcome, instance, &allocation, previous.as_ref());
+            if let (Some(obs), Some(counters)) = (&observer, &aux_counters) {
+                let record = push_common_aux(
+                    mobility_det_record(epoch, &outcome, mob_before, allocation.digest()),
+                    elapsed_ns(epoch_started),
+                    solve_ns,
+                    counters,
+                    aux_before,
+                )
+                .aux("shard_load", shard_load.unwrap_or_default())
+                .aux("shard_handovers", shard_handovers - seam_before);
+                obs.on_record(&record);
+            }
             previous = Some(allocation);
             prev_owners = owners;
             advance_waypoints(&mut ues, &mut kin, region, cfg.epoch_seconds, &mut rng);
         }
+        drop(scrape_guard);
         if obs_on {
             static SHARD_HANDOVERS: dmra_obs::LazyCounter =
                 dmra_obs::LazyCounter::new("sim.shard_handovers");
@@ -386,7 +442,12 @@ impl MobilitySimulator {
         let mut previous: Option<Allocation> = None;
         let mut outcome = empty_outcome(cfg.epochs);
         let obs_on = dmra_obs::enabled();
-        for _epoch in 0..cfg.epochs {
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
+        for epoch in 0..cfg.epochs {
+            let epoch_started = observer.as_ref().map(|_| std::time::Instant::now());
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
+            let mob_before = (outcome.handovers, outcome.drops, outcome.recoveries);
             let instance = ProblemInstance::build_with_scan(
                 initial.sps().to_vec(),
                 initial.bss().to_vec(),
@@ -418,14 +479,57 @@ impl MobilitySimulator {
                 }
                 _ => session.allocate(&instance),
             };
-            crate::dynamic::record_solve_phase(obs_on, solve_started);
+            let solve_ns = crate::dynamic::record_solve_phase(obs_on, solve_started);
             debug_assert!(allocation.validate(&instance).is_ok());
             account_epoch(&mut outcome, &instance, &allocation, previous.as_ref());
+            if let (Some(obs), Some(counters)) = (&observer, &aux_counters) {
+                let record = push_common_aux(
+                    mobility_det_record(epoch, &outcome, mob_before, allocation.digest()),
+                    elapsed_ns(epoch_started),
+                    solve_ns,
+                    counters,
+                    aux_before,
+                );
+                obs.on_record(&record);
+            }
             previous = Some(allocation);
             advance_waypoints(&mut ues, &mut kin, region, cfg.epoch_seconds, &mut rng);
         }
         Ok(outcome)
     }
+}
+
+/// Builds the engine-independent `det` section of a `"mobility.epoch"`
+/// flight record. All three mobility engines go through this one helper
+/// so field order and content are byte-identical across engines.
+/// Counters are per-epoch deltas against the `before` reading of
+/// `(handovers, drops, recoveries)`; `digest` is the epoch allocation's
+/// [`Allocation::digest`].
+fn mobility_det_record(
+    epoch: usize,
+    outcome: &MobilityOutcome,
+    before: (u64, u64, u64),
+    digest: u64,
+) -> EpochRecord {
+    EpochRecord::new("mobility.epoch", epoch as u64)
+        .det(
+            "served",
+            outcome.served_timeline.last().copied().unwrap_or(0),
+        )
+        .det("handovers", outcome.handovers - before.0)
+        .det("drops", outcome.drops - before.1)
+        .det("recoveries", outcome.recoveries - before.2)
+        .det(
+            "profit",
+            outcome.profit_timeline.last().map_or(0.0, |p| p.get()),
+        )
+        .det("digest", digest)
+}
+
+fn elapsed_ns(started: Option<std::time::Instant>) -> u64 {
+    started.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    })
 }
 
 fn empty_outcome(epochs: usize) -> MobilityOutcome {

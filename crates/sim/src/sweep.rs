@@ -344,6 +344,23 @@ impl SweepRunner {
                 .set_max(workers.len() as u64);
         }
 
+        // Flight-record stream: one `"sweep.cell"` record per grid cell,
+        // emitted serially after the join in grid order, so the recorded
+        // det projection (point, rep, metric values) is byte-identical
+        // for any thread count. Worker attribution and wall time ride in
+        // the aux section.
+        if let Some(observer) = dmra_obs::epoch_observer() {
+            for (g, (values, cell_ns, worker)) in cells.iter().enumerate() {
+                let record = dmra_obs::EpochRecord::new("sweep.cell", g as u64)
+                    .det("point", (g / reps) as u64)
+                    .det("rep", (g % reps) as u64)
+                    .det("values", values.clone().unwrap_or_default())
+                    .aux("wall_ns", *cell_ns)
+                    .aux("worker", *worker);
+                observer.on_record(&record);
+            }
+        }
+
         let mut cells = cells.into_iter().map(|(values, _, _)| values);
         let mut rows = Vec::with_capacity(points.len());
         for (x, _) in points {

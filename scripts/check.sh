@@ -11,3 +11,46 @@ cargo test --workspace -q
 # dmra-obs dependent forwards a `telemetry` feature, and this catches a
 # crate growing an unconditional dependency on instrumented APIs.
 cargo build -q --workspace --no-default-features
+
+# Flight-recorder + /metrics smoke: run the dynamic simulator with a JSONL
+# flight record and a live metrics endpoint, scrape the endpoint mid-run
+# over bash's /dev/tcp (no curl in the gate), then validate the record's
+# schema. The long horizon keeps the run alive for a few seconds so the
+# scrape genuinely happens while epochs are still being recorded.
+cargo build -q -p dmra-cli
+record="$(mktemp /tmp/dmra-smoke-XXXXXX.jsonl)"
+stderr_log="$(mktemp /tmp/dmra-smoke-XXXXXX.log)"
+trap 'rm -f "$record" "$stderr_log"' EXIT
+./target/debug/dmra dynamic --rate 120 --epochs 8000 \
+    --record "$record" --metrics-addr 127.0.0.1:0 \
+    >/dev/null 2>"$stderr_log" &
+smoke_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's|.*serving metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$stderr_log" | head -n1)"
+    [[ -n "$addr" ]] && break
+    kill -0 "$smoke_pid" 2>/dev/null || { echo "smoke run exited before binding the metrics server" >&2; cat "$stderr_log" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "metrics server address never appeared on stderr" >&2; cat "$stderr_log" >&2; exit 1; }
+
+scrape=""
+for _ in $(seq 1 20); do
+    scrape="$(exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}" \
+        && printf 'GET /metrics HTTP/1.0\r\nHost: %s\r\n\r\n' "$addr" >&3 \
+        && cat <&3; exec 3<&- 3>&-)" || scrape=""
+    grep -q '^# TYPE ' <<<"$scrape" && break
+    sleep 0.1
+done
+grep -q '^HTTP/1.0 200 OK' <<<"$scrape" || { echo "metrics scrape did not return 200" >&2; exit 1; }
+grep -q '^# TYPE dmra_' <<<"$scrape" || { echo "metrics scrape carried no dmra_ series" >&2; exit 1; }
+grep -Eq '^dmra_sim_epochs(_total)? [1-9]' <<<"$scrape" || { echo "mid-run scrape saw no epoch progress" >&2; exit 1; }
+
+wait "$smoke_pid" || { echo "smoke run failed" >&2; cat "$stderr_log" >&2; exit 1; }
+[[ -s "$record" ]] || { echo "flight record $record is empty" >&2; exit 1; }
+bad=$(grep -cv '^{"schema": "dmra-flight/1", "stream": "sim.epoch", "index": [0-9]*, "det": {.*}, "aux": {.*}}$' "$record" || true)
+[[ "$bad" -eq 0 ]] || { echo "$bad flight-record lines failed schema validation" >&2; head -n3 "$record" >&2; exit 1; }
+[[ "$(wc -l <"$record")" -eq 8000 ]] || { echo "expected 8000 flight records, got $(wc -l <"$record")" >&2; exit 1; }
+grep -q '"digest": ' "$record" || { echo "flight records carry no outcome digest" >&2; exit 1; }
+echo "flight-recorder smoke OK ($(wc -l <"$record") records, scraped $addr mid-run)"

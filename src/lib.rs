@@ -7,6 +7,8 @@
 //! This facade crate re-exports the workspace's subsystems:
 //!
 //! * [`types`] — typed IDs, physical units, entity specifications.
+//! * [`obs`] — zero-dependency telemetry: metrics registry, flight
+//!   recorder, time series, Prometheus exposition and the logging facade.
 //! * [`geo`] — deployment geometry, placement generators, spatial index.
 //! * [`radio`] — OFDMA uplink model: path loss, SINR, per-RRB rates.
 //! * [`econ`] — pricing (Eqs. 9–10) and SP utility ledger (Eqs. 5–8).
@@ -39,6 +41,7 @@ pub use dmra_baselines as baselines;
 pub use dmra_core as core;
 pub use dmra_econ as econ;
 pub use dmra_geo as geo;
+pub use dmra_obs as obs;
 pub use dmra_proto as proto;
 pub use dmra_radio as radio;
 pub use dmra_sim as sim;
