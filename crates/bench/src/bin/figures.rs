@@ -37,10 +37,12 @@ use dmra_baselines::{Dcsp, NonCo};
 use dmra_bench::bench_instance;
 use dmra_core::{Allocator, DeploymentContext, Dmra, Threads};
 use dmra_obs::{obs_error, obs_info, Level};
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
+use dmra_sim::dynamic::{
+    DynamicConfig, DynamicSimulator, HoldingDistribution, ProtoDelay, ProtoFaults,
+};
 use dmra_sim::experiments::{self, ExperimentOptions};
 use dmra_sim::{BsPlacement, ScenarioConfig, SweepRunner, Table};
-use dmra_types::{Cru, Hertz, Meters, Rect, RrbCount};
+use dmra_types::{BsId, Cru, Hertz, Meters, Rect, RrbCount};
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
@@ -103,6 +105,10 @@ fn main() {
         }
         if job == "bench_solve" {
             bench_solve_mode();
+            continue;
+        }
+        if job == "bench_proto" {
+            bench_proto_mode();
             continue;
         }
         if job == "obs_overhead" {
@@ -518,6 +524,125 @@ fn bench_event_mode() {
     obs_info!("wrote BENCH_dynamic_event.json");
     if !all_gates_pass {
         obs_error!("event engine speedup fell below the {min_speedup}x bound");
+        std::process::exit(1);
+    }
+}
+
+/// Sweeps the protocol-backed dynamic engine over a drop × delay × crash
+/// fault grid and writes the degradation surface to `BENCH_proto.json`.
+///
+/// Before any timing the fault-free cell is asserted bit-identical to the
+/// incremental engine's `DynamicOutcome` — the engine-independence
+/// contract — so the sweep measures fault degradation, never engine
+/// drift. Every faulty cell reports its profit gap and unserved-UE gap
+/// against that oracle run. The run exits 1 when the fault-free cell
+/// diverges or when the worst-case profit loss exceeds
+/// `DMRA_PROTO_MAX_PROFIT_LOSS_PCT` (default 60; the deepest cell drops a
+/// quarter of all messages and crashes a BS, so substantial loss is the
+/// expected physics — the bound only catches collapse).
+fn bench_proto_mode() {
+    let max_loss_pct: f64 = std::env::var("DMRA_PROTO_MAX_PROFIT_LOSS_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let config = DynamicConfig {
+        scenario: ScenarioConfig::paper_defaults(),
+        arrival_rate: 15.0,
+        mean_holding: 4.0,
+        holding: HoldingDistribution::Geometric,
+        epochs: 20,
+        seed: 11,
+    };
+    let sim = DynamicSimulator::new(config);
+    let (oracle, oracle_secs) = timed(|| sim.run().expect("incremental engine runs"));
+    let (fault_free, _) = timed(|| {
+        sim.run_proto(&ProtoFaults::default())
+            .expect("fault-free proto engine runs")
+    });
+    assert_eq!(
+        fault_free, oracle,
+        "proto engine diverged from incremental under reliable delivery"
+    );
+    obs_info!(
+        "proto fault-free cell is bit-identical to incremental \
+         (profit {:.1}, {} admitted)",
+        oracle.total_profit.get(),
+        oracle.admitted
+    );
+    let crash_axis: &[(&str, &[(u32, usize)])] = &[("none", &[]), ("1@5", &[(1, 5)])];
+    let mut rows = String::new();
+    let mut worst_loss_pct = 0.0f64;
+    for &drop_pct in &[0.0f64, 10.0, 25.0] {
+        for delay in [
+            ProtoDelay::Immediate,
+            ProtoDelay::Fixed(1),
+            ProtoDelay::Random(2),
+        ] {
+            for &(crash_label, crash_list) in crash_axis {
+                let faults = ProtoFaults {
+                    drop_prob: drop_pct / 100.0,
+                    delay,
+                    crashes: crash_list
+                        .iter()
+                        .map(|&(bs, at)| (BsId::new(bs), at))
+                        .collect(),
+                    max_rounds: 0,
+                };
+                let fault_free_cell =
+                    drop_pct == 0.0 && delay == ProtoDelay::Immediate && crash_label == "none";
+                let (out, secs) = timed(|| sim.run_proto(&faults).expect("proto engine runs"));
+                let profit_gap = oracle.total_profit.get() - out.total_profit.get();
+                let loss_pct = 100.0 * profit_gap / oracle.total_profit.get();
+                let unserved_gap = oracle.admitted as i64 - out.admitted as i64;
+                if fault_free_cell {
+                    assert_eq!(out, oracle, "fault-free grid cell drifted from the oracle");
+                } else {
+                    worst_loss_pct = worst_loss_pct.max(loss_pct);
+                }
+                obs_info!(
+                    "proto drop {drop_pct}% delay {delay} crash {crash_label}: \
+                     profit {:.1} (gap {profit_gap:.1}, {loss_pct:.1}%), \
+                     admitted {} (gap {unserved_gap}), {secs:.3} s",
+                    out.total_profit.get(),
+                    out.admitted
+                );
+                if !rows.is_empty() {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "    {{ \"drop_pct\": {drop_pct}, \"delay\": \"{delay}\", \
+                     \"crash\": \"{crash_label}\", \"profit\": {:.2}, \
+                     \"profit_gap\": {profit_gap:.2}, \"profit_loss_pct\": {loss_pct:.2}, \
+                     \"admitted\": {}, \"unserved_gap\": {unserved_gap}, \
+                     \"cloud_forwarded\": {}, \"secs\": {secs:.4}, \
+                     \"fault_free\": {fault_free_cell}, \
+                     \"identical_outcome\": {fault_free_cell} }}",
+                    out.total_profit.get(),
+                    out.admitted,
+                    out.cloud_forwarded
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"title\": \"protocol-backed dynamic engine degradation under \
+         message loss, delivery delay and BS fail-stop crashes (paper grid, \
+         rate 15, 20 epochs)\",\n  \
+         \"oracle\": {{ \"engine\": \"incremental\", \"profit\": {:.2}, \
+         \"admitted\": {}, \"secs\": {oracle_secs:.4} }},\n  \
+         \"max_profit_loss_pct\": {max_loss_pct},\n  \
+         \"worst_profit_loss_pct\": {worst_loss_pct:.2},\n  \
+         \"cells\": [\n{rows}\n  ]\n}}\n",
+        oracle.total_profit.get(),
+        oracle.admitted
+    );
+    fs::write("BENCH_proto.json", &json).expect("can write BENCH_proto.json");
+    obs_info!("wrote BENCH_proto.json");
+    if worst_loss_pct > max_loss_pct {
+        obs_error!(
+            "proto degradation collapsed: worst profit loss {worst_loss_pct:.1}% \
+             exceeds the {max_loss_pct}% bound"
+        );
         std::process::exit(1);
     }
 }

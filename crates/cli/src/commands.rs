@@ -3,17 +3,20 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use dmra_baselines::{CloudOnly, Dcsp, GreedyProfit, NonCo, RandomAllocator};
-use dmra_core::agents::run_decentralized;
+use dmra_core::agents::{run_protocol, ProtocolOptions};
 use dmra_core::{
     set_batch_mode_default, set_solve_mode_default, Allocator, BatchMode, Dmra, DmraConfig,
     SolveMode, Threads,
 };
 use dmra_obs::{obs_debug, obs_info, Level};
 use dmra_proto::DropPolicy;
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
+use dmra_sim::dynamic::{
+    DynamicConfig, DynamicSimulator, HoldingDistribution, ProtoDelay, ProtoFaults,
+};
 use dmra_sim::erlang::TrunkModel;
 use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
 use dmra_sim::{Metrics, ScenarioConfig, SweepRunner};
+use dmra_types::BsId;
 
 /// The `dmra help` text.
 #[must_use]
@@ -37,6 +40,8 @@ pub fn help_text() -> String {
      \t--threads N    worker threads (0 = auto; results are identical)\n\
      protocol  decentralized execution statistics\n\
      \t--ues N --seed S --drop PCT                (defaults 400, 42, 0)\n\
+     \t--delay D      immediate | fixed:N | random:MAX (default immediate)\n\
+     \t--crash B@R    comma-separated BS fail-stops, BS id @ protocol round\n\
      dynamic   online arrivals/departures\n\
      \t--rate X       arrivals per epoch          (default 40)\n\
      \t--holding H    mean holding epochs, or a distribution\n\
@@ -44,7 +49,13 @@ pub fn help_text() -> String {
      \t               as NAME:X — e.g. 5, exp, det:3  (default geometric:5)\n\
      \t--epochs N     horizon                     (default 50)\n\
      \t--seed S                                   (default 42)\n\
-     \t--engine E     event | incremental | scratch (default incremental; identical results)\n\
+     \t--engine E     event | incremental | proto | scratch\n\
+     \t               (default incremental; identical results — proto\n\
+     \t               computes each epoch by message-passing agents)\n\
+     \t--drop PCT     proto engine: per-message loss percentage (default 0)\n\
+     \t--delay D      proto engine: immediate | fixed:N | random:MAX\n\
+     \t--crash B@E    proto engine: comma-separated BS fail-stops,\n\
+     \t               BS id @ simulation epoch\n\
      \t--shards N     region-sharded row builds on a near-square N-cell grid\n\
      \t               (incremental engine only; identical results)\n\
      \t--shard-grid RxC  explicit shard grid, e.g. 3x3 (alternative to --shards)\n\
@@ -412,11 +423,58 @@ fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
     }
 }
 
+/// Parses a `--drop PCT` percentage into a probability in `[0, 1)`.
+fn drop_probability(parsed: &ParsedArgs) -> Result<f64, ArgError> {
+    let drop_pct = parsed.get_or("drop", 0.0f64)?;
+    if !(0.0..100.0).contains(&drop_pct) {
+        return Err(ArgError("--drop must be a percentage in [0, 100)".into()));
+    }
+    Ok(drop_pct / 100.0)
+}
+
+/// Parses the `--delay` spec (`immediate | fixed:N | random:MAX`).
+fn delay_spec(parsed: &ParsedArgs) -> Result<ProtoDelay, ArgError> {
+    parsed
+        .get("delay")
+        .unwrap_or("immediate")
+        .parse::<ProtoDelay>()
+        .map_err(|e| ArgError(format!("--delay: {e}")))
+}
+
+/// Parses `--crash BS@N[,BS@N...]` against the scenario's BS count.
+/// `N` is a protocol round under `protocol` and a simulation epoch under
+/// `dynamic --engine proto`.
+fn crash_spec(parsed: &ParsedArgs, n_bss: usize) -> Result<Vec<(BsId, usize)>, ArgError> {
+    let Some(raw) = parsed.get("crash") else {
+        return Ok(Vec::new());
+    };
+    let mut crashes = Vec::new();
+    for part in raw.split(',') {
+        let (bs, at) = part
+            .split_once('@')
+            .and_then(|(b, a)| Some((b.parse::<u32>().ok()?, a.parse::<usize>().ok()?)))
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "--crash entries must look like 'BS@N', got '{part}'"
+                ))
+            })?;
+        if bs as usize >= n_bss {
+            return Err(ArgError(format!(
+                "--crash names unknown BS {bs} (scenario has {n_bss} BSs)"
+            )));
+        }
+        crashes.push((BsId::new(bs), at));
+    }
+    Ok(crashes)
+}
+
 fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
     parsed.expect_keys(&[
         "ues",
         "seed",
         "drop",
+        "delay",
+        "crash",
         "iota",
         "placement",
         "rho",
@@ -425,30 +483,42 @@ fn cmd_protocol(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "sample-every",
         "metrics-addr",
     ])?;
-    let drop_pct = parsed.get_or("drop", 0.0f64)?;
-    if !(0.0..100.0).contains(&drop_pct) {
-        return Err(ArgError("--drop must be a percentage in [0, 100)".into()));
-    }
+    let drop_prob = drop_probability(parsed)?;
     let seed = parsed.get_or("seed", 42u64)?;
     let rho = parsed.get_or("rho", 100.0f64)?;
     let mut cfg = scenario_from(parsed)?;
     cfg.n_ues = parsed.get_or("ues", 400usize)?;
     let instance = cfg.build().map_err(|e| ArgError(e.to_string()))?;
-    let policy = if drop_pct > 0.0 {
-        DropPolicy::new(drop_pct / 100.0, seed)
+    let policy = if drop_prob > 0.0 {
+        DropPolicy::new(drop_prob, seed)
     } else {
         DropPolicy::reliable()
     };
-    let out = run_decentralized(
+    let delay = delay_spec(parsed)?;
+    let crashed_bss = crash_spec(parsed, instance.n_bss())?;
+    let defaults = ProtocolOptions::default();
+    let out = run_protocol(
         &instance,
         &DmraConfig::paper_defaults().with_rho(rho),
-        policy,
-        100_000,
+        ProtocolOptions {
+            drop_policy: policy,
+            delay: delay.to_model(seed),
+            crashed_bss,
+            // Widen the grace by the delay bound so a maximally-delayed
+            // retry still counts as activity (same rule as the dynamic
+            // proto engine).
+            quiescence_grace: defaults.quiescence_grace + delay.extra_bound() as usize,
+            ..defaults
+        },
     )
     .map_err(|e| ArgError(e.to_string()))?;
     let mut text = format!(
-        "rounds:    {}\nmessages:  {} ({} dropped, {} bytes)\n",
-        out.stats.rounds, out.stats.messages_sent, out.stats.messages_dropped, out.stats.bytes_sent
+        "rounds:    {}\nmessages:  {} ({} dropped, {} absorbed by crash, {} bytes)\n",
+        out.stats.rounds,
+        out.stats.messages_sent,
+        out.stats.messages_dropped,
+        out.stats.absorbed_by_crash,
+        out.stats.bytes_sent
     );
     for (kind, count) in &out.stats.by_kind {
         text.push_str(&format!("  {kind:<18} {count}\n"));
@@ -509,6 +579,27 @@ fn shard_spec(parsed: &ParsedArgs) -> Result<Option<ShardArg>, ArgError> {
     Ok(arg)
 }
 
+/// Parses the fault-injection flags for `dynamic`; they only make sense
+/// for the protocol-backed engine, so any of them with another engine is
+/// an error (mirroring the `--shards`/incremental gate).
+fn proto_fault_spec(parsed: &ParsedArgs, n_bss: usize) -> Result<ProtoFaults, ArgError> {
+    let engine = parsed.get("engine").unwrap_or("incremental");
+    let faulty = ["drop", "delay", "crash"]
+        .iter()
+        .any(|k| parsed.get(k).is_some());
+    if faulty && engine != "proto" {
+        return Err(ArgError(format!(
+            "--drop/--delay/--crash require the proto engine, got --engine {engine}"
+        )));
+    }
+    Ok(ProtoFaults {
+        drop_prob: drop_probability(parsed)?,
+        delay: delay_spec(parsed)?,
+        crashes: crash_spec(parsed, n_bss)?,
+        max_rounds: 0,
+    })
+}
+
 fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
     parsed.expect_keys(&[
         "rate",
@@ -518,6 +609,9 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "iota",
         "placement",
         "engine",
+        "drop",
+        "delay",
+        "crash",
         "shards",
         "shard-grid",
         "log-level",
@@ -544,21 +638,26 @@ fn cmd_dynamic(parsed: &ParsedArgs) -> Result<String, ArgError> {
         config.mean_holding,
         config.epochs
     );
+    let n_bss = config.scenario.n_bss() as usize;
     let simulator = DynamicSimulator::new(config);
     let sharding = shard_spec(parsed)?;
-    // All engines are bit-identical; `event` skips idle epochs,
-    // `scratch` is the slow executable specification, exposed for
-    // spot-checks and benchmarking, and the sharded variants fan the
-    // incremental engine's row builds out to region workers.
+    let faults = proto_fault_spec(parsed, n_bss)?;
+    // All engines are bit-identical (proto under its default fault-free
+    // spec); `event` skips idle epochs, `scratch` is the slow executable
+    // specification, exposed for spot-checks and benchmarking, `proto`
+    // computes each epoch's matching by message-passing agents (the only
+    // engine taking --drop/--delay/--crash), and the sharded variants fan
+    // the incremental engine's row builds out to region workers.
     let out = match (parsed.get("engine").unwrap_or("incremental"), sharding) {
         (_, Some(ShardArg::Count(n))) => simulator.run_sharded_n(n),
         (_, Some(ShardArg::Grid(rows, cols))) => simulator.run_sharded(rows, cols),
         ("event", None) => simulator.run_event(),
         ("incremental", None) => simulator.run(),
+        ("proto", None) => simulator.run_proto(&faults),
         ("scratch", None) => simulator.run_scratch(),
         (other, None) => {
             return Err(ArgError(format!(
-                "--engine must be 'event', 'incremental' or 'scratch', got '{other}'"
+                "--engine must be 'event', 'incremental', 'proto' or 'scratch', got '{other}'"
             )))
         }
     }
@@ -764,6 +863,32 @@ mod tests {
     }
 
     #[test]
+    fn protocol_accepts_delay_and_crash() {
+        let args = ["protocol", "--ues", "60", "--seed", "7"];
+        // An explicit immediate delay is the default spelled out.
+        let plain = run(&args).unwrap();
+        let immediate = run(&[&args[..], &["--delay", "immediate"]].concat()).unwrap();
+        assert_eq!(plain, immediate);
+        // Faulty runs still report, and a crashed BS absorbs messages.
+        let crashed =
+            run(&[&args[..], &["--delay", "fixed:1", "--crash", "0@2,1@3"]].concat()).unwrap();
+        assert!(crashed.contains("absorbed by crash"), "{crashed}");
+        assert!(crashed.contains("served:"), "{crashed}");
+    }
+
+    #[test]
+    fn protocol_rejects_bad_delay_and_crash_specs() {
+        let err = run(&["protocol", "--delay", "soonish"]).unwrap_err();
+        assert!(err.to_string().contains("--delay"), "{err}");
+        let err = run(&["protocol", "--delay", "fixed:lots"]).unwrap_err();
+        assert!(err.to_string().contains("fixed:lots"), "{err}");
+        let err = run(&["protocol", "--crash", "0x3"]).unwrap_err();
+        assert!(err.to_string().contains("BS@N"), "{err}");
+        let err = run(&["protocol", "--crash", "99@1"]).unwrap_err();
+        assert!(err.to_string().contains("unknown BS 99"), "{err}");
+    }
+
+    #[test]
     fn dynamic_reports_admissions() {
         let text = run(&[
             "dynamic",
@@ -786,8 +911,58 @@ mod tests {
             run(&[&["dynamic", "--engine", "incremental"], &args[..]].concat()).unwrap();
         let scratch = run(&[&["dynamic", "--engine", "scratch"], &args[..]].concat()).unwrap();
         let event = run(&[&["dynamic", "--engine", "event"], &args[..]].concat()).unwrap();
+        let proto = run(&[&["dynamic", "--engine", "proto"], &args[..]].concat()).unwrap();
         assert_eq!(incremental, scratch);
         assert_eq!(incremental, event);
+        assert_eq!(incremental, proto);
+    }
+
+    #[test]
+    fn dynamic_proto_engine_takes_fault_flags() {
+        let text = run(&[
+            "dynamic",
+            "--engine",
+            "proto",
+            "--rate",
+            "10",
+            "--epochs",
+            "10",
+            "--holding",
+            "2",
+            "--drop",
+            "20",
+            "--delay",
+            "random:2",
+            "--crash",
+            "1@3",
+        ])
+        .unwrap();
+        assert!(text.contains("admitted"), "{text}");
+    }
+
+    #[test]
+    fn dynamic_fault_flags_require_the_proto_engine() {
+        for flags in [
+            &["--drop", "10"][..],
+            &["--delay", "fixed:1"][..],
+            &["--crash", "0@2"][..],
+        ] {
+            let err = run(&[&["dynamic"], flags].concat()).unwrap_err();
+            assert!(err.to_string().contains("proto"), "{err}");
+            let err = run(&[&["dynamic", "--engine", "event"], flags].concat()).unwrap_err();
+            assert!(err.to_string().contains("proto"), "{err}");
+        }
+    }
+
+    #[test]
+    fn dynamic_proto_rejects_bad_fault_specs() {
+        let base = ["dynamic", "--engine", "proto"];
+        let err = run(&[&base[..], &["--drop", "100"]].concat()).unwrap_err();
+        assert!(err.to_string().contains("[0, 100)"), "{err}");
+        let err = run(&[&base[..], &["--delay", "eventually"]].concat()).unwrap_err();
+        assert!(err.to_string().contains("--delay"), "{err}");
+        let err = run(&[&base[..], &["--crash", "999@0"]].concat()).unwrap_err();
+        assert!(err.to_string().contains("unknown BS 999"), "{err}");
     }
 
     #[test]

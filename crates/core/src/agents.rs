@@ -485,6 +485,11 @@ pub struct ProtocolOptions {
     pub crashed_bss: Vec<(BsId, usize)>,
     /// Round bound before declaring non-termination.
     pub max_rounds: usize,
+    /// Consecutive silent rounds required before quiescence. The UE retry
+    /// timeout fires after two silent rounds, so the default of 3 keeps
+    /// crashed-BS failover alive; raise it when long random delays could
+    /// make a retry look like silence.
+    pub quiescence_grace: usize,
 }
 
 impl Default for ProtocolOptions {
@@ -495,6 +500,7 @@ impl Default for ProtocolOptions {
             delay: DelayModel::Immediate,
             crashed_bss: Vec::new(),
             max_rounds: 100_000,
+            quiescence_grace: 3,
         }
     }
 }
@@ -578,9 +584,7 @@ pub fn run_protocol(
     let max_rounds = options.max_rounds;
     let mut engine: RoundEngine<DmraMsg> = RoundEngine::with_drop_policy(options.drop_policy);
     engine.set_delay_model(options.delay);
-    // Three silent rounds before quiescence: the UE retry timeout fires
-    // after two, so crashed-BS failover always gets its chance to run.
-    engine.set_quiescence_grace(3);
+    engine.set_quiescence_grace(options.quiescence_grace);
     for (bs, round) in options.crashed_bss {
         engine.crash_at(Address::Bs(bs), round);
     }
@@ -763,11 +767,66 @@ mod tests {
                     drop_policy: DropPolicy::new(0.15, seed),
                     delay: DelayModel::Random { max_extra: 2, seed },
                     crashed_bss: vec![(BsId::new(0), 3)],
-                    max_rounds: 100_000,
+                    ..ProtocolOptions::default()
                 },
             )
             .unwrap();
             out.allocation.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn combined_faults_quiesce_safely_under_a_wide_grace() {
+        // Loss, delay and a crash in one run, with a quiescence grace wide
+        // enough that a retry delayed by the full random spread still
+        // counts as activity. Safety: the allocation validates, no BS is
+        // over-committed, and conflicting accepts stay bounded by the UE
+        // count (a UE can be double-booked at most once per extra BS).
+        let inst = two_sp_instance();
+        let config = DmraConfig::paper_defaults();
+        for seed in 0..10u64 {
+            let out = run_protocol(
+                &inst,
+                &config,
+                ProtocolOptions {
+                    drop_policy: DropPolicy::new(0.25, seed),
+                    delay: DelayModel::Random { max_extra: 4, seed },
+                    crashed_bss: vec![(BsId::new(1), 4)],
+                    max_rounds: 100_000,
+                    // Retry timeout (2 silent rounds) + max delay (4) + 1:
+                    // nothing alive can be mistaken for quiescence.
+                    quiescence_grace: 7,
+                },
+            )
+            .expect("combined faults must still quiesce");
+            out.allocation.validate(&inst).unwrap();
+            // Explicit no-over-commitment check, independent of validate():
+            // per-BS RRB and per-service CRU sums stay within budget.
+            for (i, bs) in inst.bss().iter().enumerate() {
+                let bs_id = BsId::new(i as u32);
+                let mut rrbs = RrbCount::new(0);
+                let mut crus = vec![Cru::ZERO; bs.cru_budget.len()];
+                for (ue, assigned) in out.allocation.edge_pairs() {
+                    if assigned == bs_id {
+                        let spec = &inst.ues()[ue.as_usize()];
+                        let link = inst.link(ue, bs_id).expect("assigned pairs are candidates");
+                        rrbs += link.n_rrbs;
+                        crus[spec.service.as_usize()] += spec.cru_demand;
+                    }
+                }
+                assert!(rrbs <= bs.rrb_budget, "bs{i} RRBs over-committed");
+                for (svc, used) in crus.iter().enumerate() {
+                    assert!(
+                        *used <= bs.cru_budget[svc],
+                        "bs{i} service {svc} CRUs over-committed"
+                    );
+                }
+            }
+            assert!(
+                out.conflicting_accepts <= inst.n_ues() as u64,
+                "conflicts {} exceed UE count",
+                out.conflicting_accepts
+            );
         }
     }
 

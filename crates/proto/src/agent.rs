@@ -105,8 +105,14 @@ impl<M> Outbox<M> {
 
 /// A protocol participant driven by the [`RoundEngine`].
 ///
+/// The [`std::any::Any`] supertrait (every agent owns its state, so the
+/// `'static` bound costs nothing) lets callers recover concrete agent
+/// state after [`RoundEngine::into_agents`] by upcasting a
+/// `&dyn Agent<M>` to `&dyn Any` and downcasting to the known type.
+///
 /// [`RoundEngine`]: crate::RoundEngine
-pub trait Agent<M> {
+/// [`RoundEngine::into_agents`]: crate::RoundEngine::into_agents
+pub trait Agent<M>: std::any::Any {
     /// The address this agent receives messages at.
     fn address(&self) -> Address;
 

@@ -16,6 +16,11 @@ pub struct RunStats {
     pub messages_sent: u64,
     /// Messages lost to fault injection.
     pub messages_dropped: u64,
+    /// Messages that reached their delivery round addressed to an agent
+    /// already fail-stopped ([`RoundEngine::crash_at`]): they left the
+    /// sender (so they count in `messages_sent`) but were never handed to
+    /// any inbox.
+    pub absorbed_by_crash: u64,
     /// Approximate bytes delivered ([`MessageKind::size_bytes`]).
     pub bytes_sent: u64,
     /// Delivered-message counts by [`MessageKind::kind`] label.
@@ -26,8 +31,12 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} rounds, {} messages ({} dropped, {} bytes)",
-            self.rounds, self.messages_sent, self.messages_dropped, self.bytes_sent
+            "{} rounds, {} messages ({} dropped, {} absorbed by crash, {} bytes)",
+            self.rounds,
+            self.messages_sent,
+            self.messages_dropped,
+            self.absorbed_by_crash,
+            self.bytes_sent
         )?;
         for (kind, count) in &self.by_kind {
             write!(f, "; {kind}: {count}")?;
@@ -48,6 +57,9 @@ pub struct RoundTrace {
     pub sent: u64,
     /// Messages lost to fault injection this round.
     pub dropped: u64,
+    /// Messages due this round whose addressee had already fail-stopped;
+    /// they evaporate instead of being delivered.
+    pub absorbed: u64,
     /// Messages still in flight (delayed) after this round.
     pub in_flight: u64,
 }
@@ -69,7 +81,7 @@ pub struct RoundEngine<M> {
     quiescence_grace: usize,
 }
 
-impl<M> std::fmt::Debug for RoundEngine<M> {
+impl<M: 'static> std::fmt::Debug for RoundEngine<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RoundEngine")
             .field("agents", &self.agents.len())
@@ -78,7 +90,7 @@ impl<M> std::fmt::Debug for RoundEngine<M> {
     }
 }
 
-impl<M: MessageKind> RoundEngine<M> {
+impl<M: MessageKind + 'static> RoundEngine<M> {
     /// Creates an engine with reliable (lossless) delivery.
     #[must_use]
     pub fn new() -> Self {
@@ -207,10 +219,19 @@ impl<M: MessageKind> RoundEngine<M> {
             let mut inboxes: HashMap<Address, Vec<Envelope<M>>> = HashMap::new();
             let mut still_pending = Vec::with_capacity(pending.len());
             let mut delivered = 0u64;
+            let mut absorbed = 0u64;
             for (due, env) in pending.drain(..) {
                 if due <= round {
-                    delivered += 1;
-                    inboxes.entry(env.to).or_default().push(env);
+                    // A message due for an agent that has already
+                    // fail-stopped evaporates: it was sent, but it is not
+                    // delivered — it is absorbed by the crash.
+                    if self.crashes.get(&env.to).is_some_and(|&at| round >= at) {
+                        absorbed += 1;
+                        stats.absorbed_by_crash += 1;
+                    } else {
+                        delivered += 1;
+                        inboxes.entry(env.to).or_default().push(env);
+                    }
                 } else {
                     still_pending.push((due, env));
                 }
@@ -221,7 +242,8 @@ impl<M: MessageKind> RoundEngine<M> {
                 let addr = agent.address();
                 let mut inbox = inboxes.remove(&addr).unwrap_or_default();
                 if self.crashes.get(&addr).is_some_and(|&at| round >= at) {
-                    // Fail-stop: the inbox evaporates, nothing is sent.
+                    // Fail-stop: nothing is sent (the delivery loop above
+                    // already absorbed anything addressed here).
                     continue;
                 }
                 inbox.sort_by_key(|e| e.from);
@@ -254,6 +276,7 @@ impl<M: MessageKind> RoundEngine<M> {
                 delivered,
                 sent,
                 dropped,
+                absorbed,
                 in_flight: pending.len() as u64,
             };
             observer(trace);
@@ -269,6 +292,7 @@ impl<M: MessageKind> RoundEngine<M> {
                         .det("delivered", trace.delivered)
                         .det("sent", sent)
                         .det("dropped", dropped)
+                        .det("absorbed", absorbed)
                         .det("in_flight", trace.in_flight)
                         .aux("delayed", delayed),
                 );
@@ -310,7 +334,7 @@ impl<M: MessageKind> RoundEngine<M> {
     }
 }
 
-impl<M: MessageKind> Default for RoundEngine<M> {
+impl<M: MessageKind + 'static> Default for RoundEngine<M> {
     fn default() -> Self {
         Self::new()
     }
@@ -478,9 +502,55 @@ mod tests {
         }));
         e.run(10).unwrap();
         let agents = e.into_agents();
-        // Recorder is the last agent in address order (BS sorts after UEs
-        // here? No: UE < BS per enum order, so recorder is last).
-        let _ = agents;
+        let recorder = agents
+            .iter()
+            .find_map(|a| (a.as_ref() as &dyn std::any::Any).downcast_ref::<Recorder>())
+            .expect("recorder agent survives the run");
+        // The three bursts all land in the same round; the inbox must be
+        // sorted by sender address, not by registration order (2, 0, 1).
+        assert_eq!(
+            recorder.seen,
+            vec![
+                Address::Ue(UeId::new(0)),
+                Address::Ue(UeId::new(1)),
+                Address::Ue(UeId::new(2)),
+            ]
+        );
+        // Registration order is also irrelevant to the agents' placement:
+        // `into_agents` hands them back sorted by address, recorder last.
+        assert_eq!(agents.last().unwrap().address(), rx);
+    }
+
+    #[test]
+    fn crash_absorption_balances_the_message_ledger() {
+        // 200 messages fan out with random delays spanning the crash
+        // round, so some arrive before the receiver dies and the rest are
+        // absorbed. The ledger must balance exactly:
+        //   sent == delivered + absorbed + still_in_flight.
+        let rx = Address::Bs(BsId::new(0));
+        let mut e: RoundEngine<u32> = RoundEngine::new();
+        e.set_delay_model(DelayModel::Random {
+            max_extra: 5,
+            seed: 11,
+        });
+        e.crash_at(rx, 3);
+        e.register(Box::new(Echo::new(Address::Ue(UeId::new(0)), rx, 200)));
+        e.register(Box::new(Echo::new(rx, Address::Ue(UeId::new(0)), 0)));
+        let mut traces = Vec::new();
+        let stats = e.run_observed(100, &mut |t| traces.push(t)).unwrap();
+        let sent: u64 = traces.iter().map(|t| t.sent).sum();
+        let delivered: u64 = traces.iter().map(|t| t.delivered).sum();
+        let absorbed: u64 = traces.iter().map(|t| t.absorbed).sum();
+        let in_flight = traces.last().unwrap().in_flight;
+        assert_eq!(sent, delivered + absorbed + in_flight);
+        assert_eq!(in_flight, 0, "quiescence leaves nothing in flight");
+        assert_eq!(sent, stats.messages_sent);
+        assert_eq!(absorbed, stats.absorbed_by_crash);
+        // Delays 1..=6 straddle the crash at round 3: both outcomes occur.
+        assert!(delivered > 0, "{stats:?}");
+        assert!(absorbed > 0, "{stats:?}");
+        assert_eq!(delivered + absorbed, 200);
+        assert!(stats.to_string().contains("absorbed by crash"));
     }
 
     #[test]

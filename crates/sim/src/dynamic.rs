@@ -69,13 +69,15 @@
 
 use crate::config::ScenarioConfig;
 use crate::shard::{self, EpochBudgets, ShardGrid, ShardJob};
+use dmra_core::agents::{run_protocol, ProtocolOptions};
 use dmra_core::{
-    Allocation, Allocator, CandidateLink, CandidateScan, DeploymentContext, Dmra, ProblemInstance,
-    Threads,
+    Allocation, Allocator, CandidateLink, CandidateScan, DeploymentContext, Dmra, DmraConfig,
+    ProblemInstance, Threads,
 };
 use dmra_geo::rng::component_rng;
 use dmra_obs::{obs_warn, EpochObserver, EpochRecord};
 use dmra_par::WorkerPool;
+use dmra_proto::{DelayModel, DropPolicy};
 use dmra_types::{
     BitsPerSec, BsId, BsSpec, Cru, Error, Money, Result, RrbCount, ServiceId, SpId, UeId, UeSpec,
 };
@@ -222,6 +224,181 @@ impl DynamicConfig {
         }
         Ok(())
     }
+}
+
+/// Delivery-delay spec for the protocol-backed dynamic engine.
+///
+/// This is [`DelayModel`] minus the seed: the engine derives a fresh,
+/// deterministic seed per epoch from the run seed (see
+/// [`ProtoFaults::epoch_options`]), so the same fault spec replays
+/// different per-message draws each epoch while a run seed still fixes
+/// every draw of the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoDelay {
+    /// Every message arrives next round (the synchronous default).
+    #[default]
+    Immediate,
+    /// Every message takes `1 + extra` rounds.
+    Fixed(u32),
+    /// Each message independently takes `1 + U{0..=max_extra}` rounds.
+    Random(u32),
+}
+
+impl ProtoDelay {
+    /// Upper bound on the extra in-flight rounds a message can spend —
+    /// the quiescence grace must cover it so a long-delayed retry is not
+    /// mistaken for silence.
+    #[must_use]
+    pub fn extra_bound(self) -> u32 {
+        match self {
+            ProtoDelay::Immediate => 0,
+            ProtoDelay::Fixed(extra) | ProtoDelay::Random(extra) => extra,
+        }
+    }
+
+    /// Instantiates the [`DelayModel`] this spec describes, seeding the
+    /// random variant's per-message draws from `seed`.
+    #[must_use]
+    pub fn to_model(self, seed: u64) -> DelayModel {
+        match self {
+            ProtoDelay::Immediate => DelayModel::Immediate,
+            ProtoDelay::Fixed(extra) => DelayModel::Fixed { extra },
+            ProtoDelay::Random(max_extra) => DelayModel::Random { max_extra, seed },
+        }
+    }
+}
+
+impl fmt::Display for ProtoDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoDelay::Immediate => f.write_str("immediate"),
+            ProtoDelay::Fixed(extra) => write!(f, "fixed:{extra}"),
+            ProtoDelay::Random(max) => write!(f, "random:{max}"),
+        }
+    }
+}
+
+/// Error parsing a [`ProtoDelay`] spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDelayError(String);
+
+impl fmt::Display for ParseDelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid delay spec '{}' (expected immediate, fixed:N or random:MAX)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseDelayError {}
+
+impl std::str::FromStr for ProtoDelay {
+    type Err = ParseDelayError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        if s == "immediate" || s == "none" {
+            return Ok(ProtoDelay::Immediate);
+        }
+        let parse_n = |n: &str| n.parse::<u32>().map_err(|_| ParseDelayError(s.to_owned()));
+        match s.split_once(':') {
+            Some(("fixed", n)) => parse_n(n).map(ProtoDelay::Fixed),
+            Some(("random", n)) => parse_n(n).map(ProtoDelay::Random),
+            _ => Err(ParseDelayError(s.to_owned())),
+        }
+    }
+}
+
+/// Fault injection for [`DynamicSimulator::run_proto`]: the per-epoch
+/// protocol runs under message loss, delivery delay and BS fail-stop
+/// crashes. [`ProtoFaults::default`] is reliable immediate delivery with
+/// no crashes — under it the engine is bit-identical to
+/// [`DynamicSimulator::run`].
+#[derive(Debug, Clone, Default)]
+pub struct ProtoFaults {
+    /// Per-message drop probability, in `[0, 1)`.
+    pub drop_prob: f64,
+    /// Delivery-delay spec.
+    pub delay: ProtoDelay,
+    /// BSs that fail-stop at the given *simulation epoch*: from that epoch
+    /// onward the BS is crashed from round 0 of every per-epoch protocol
+    /// run, so it admits nothing new. Tasks it already serves run to
+    /// completion (the radio keeps carrying committed traffic; only the
+    /// control plane is dead), which keeps departure bookkeeping identical
+    /// across engines.
+    pub crashes: Vec<(BsId, usize)>,
+    /// Per-epoch round bound before declaring non-termination
+    /// (0 = the [`ProtocolOptions`] default of 100 000).
+    pub max_rounds: usize,
+}
+
+impl ProtoFaults {
+    /// Checks the fault spec against the deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `drop_prob` is outside
+    /// `[0, 1)` (1 would drop everything and the protocol could never
+    /// converge) or a crash names a BS the deployment does not have.
+    pub fn validate(&self, n_bss: usize) -> Result<()> {
+        if !(0.0..1.0).contains(&self.drop_prob) {
+            return Err(Error::InvalidConfig(format!(
+                "drop probability ({}) must be in [0, 1)",
+                self.drop_prob
+            )));
+        }
+        for &(bs, _) in &self.crashes {
+            if bs.as_usize() >= n_bss {
+                return Err(Error::InvalidConfig(format!(
+                    "crash names unknown {bs} (deployment has {n_bss} BSs)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the [`ProtocolOptions`] for one epoch's protocol run.
+    ///
+    /// Fault randomness is a *separate* RNG stream from the workload: the
+    /// drop and delay samplers are seeded from `(run_seed, epoch)` via a
+    /// splitmix-style mix (and further separated per component inside
+    /// `dmra-proto`), never from the arrival RNG — so attaching telemetry
+    /// or changing the fault spec cannot perturb the workload trace, and
+    /// the workload seed cannot perturb the fault draws of another epoch.
+    #[must_use]
+    pub fn epoch_options(&self, run_seed: u64, epoch: usize) -> ProtocolOptions {
+        let seed = epoch_fault_seed(run_seed, epoch);
+        let defaults = ProtocolOptions::default();
+        ProtocolOptions {
+            drop_policy: DropPolicy::new(self.drop_prob, seed),
+            delay: self.delay.to_model(seed),
+            crashed_bss: self
+                .crashes
+                .iter()
+                .filter(|&&(_, at)| at <= epoch)
+                .map(|&(bs, _)| (bs, 0))
+                .collect(),
+            max_rounds: if self.max_rounds == 0 {
+                defaults.max_rounds
+            } else {
+                self.max_rounds
+            },
+            // The default grace covers the retry timeout under immediate
+            // delivery; widen it by the delay bound so a maximally-delayed
+            // retry still counts as activity.
+            quiescence_grace: defaults.quiescence_grace + self.delay.extra_bound() as usize,
+        }
+    }
+}
+
+/// Splitmix64-style mix of the run seed and the epoch index: each epoch's
+/// protocol faults get an independent, deterministic seed stream.
+fn epoch_fault_seed(run_seed: u64, epoch: usize) -> u64 {
+    let mut z = run_seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Aggregate results of an online run.
@@ -444,6 +621,157 @@ impl DynamicSimulator {
                     aux_counters.as_ref().expect("fetched alongside observer"),
                     aux_before,
                 );
+                obs.on_record(&record);
+            }
+        }
+        Ok(state.outcome)
+    }
+
+    /// Runs the simulation with the **protocol-backed engine**: each
+    /// epoch's arrival batch is matched by the *actual message-passing
+    /// DMRA protocol* ([`dmra_core::agents::run_protocol`]) — one
+    /// `UeAgent` per arrival and one `BsAgent` per BS exchanging service
+    /// requests, accepts and resource broadcasts on the synchronous-round
+    /// engine — instead of the in-memory matcher. The epoch instance is
+    /// the same residual build as [`DynamicSimulator::run`]
+    /// ([`DeploymentContext::epoch_instance`] against remaining budgets),
+    /// and the RNG stream is identical, so under
+    /// [`ProtoFaults::default`] (reliable immediate delivery, no
+    /// crashes) the outcome — and every per-epoch record digest — is
+    /// bit-identical to the incremental engine (`tests/recorder.rs` pins
+    /// this across seeds).
+    ///
+    /// Under faults the committed allocation is whatever the protocol
+    /// actually converged to: message loss and delay can leave UEs
+    /// unserved or double-booked (BS-side accounting keeps every budget
+    /// safe), and a crashed BS admits nothing from its crash epoch
+    /// onward. When an observer is attached, each `"sim.epoch"` record
+    /// carries degradation telemetry in its aux section: protocol
+    /// rounds/messages/drops/crash-absorbed counts, conflicting accepts,
+    /// and the profit / served-UE gap against the oracle matcher (the
+    /// simulator's allocator solving the same instance). The protocol
+    /// always runs DMRA with paper-default parameters; the attached
+    /// allocator is only the telemetry oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicSimulator::run`], plus [`Error::InvalidConfig`]
+    /// for an invalid [`ProtoFaults`] spec and
+    /// [`Error::NonTermination`] if an epoch's protocol run exhausts its
+    /// round bound.
+    pub fn run_proto(&self, faults: &ProtoFaults) -> Result<DynamicOutcome> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let deployment = cfg
+            .scenario
+            .clone()
+            .with_ues(0)
+            .with_seed(cfg.seed)
+            .build()?;
+        faults.validate(deployment.bss().len())?;
+        let mut ctx = DeploymentContext::new(&deployment);
+        let proto_config = DmraConfig::paper_defaults();
+        // The oracle session only runs when an observer wants the
+        // degradation gap; it never touches the RNG or the engine state.
+        let mut oracle = self.allocator.session();
+        let mut rng = component_rng(cfg.seed, "dynamic-arrivals");
+        let mut state = EngineState::new(deployment.bss(), cfg.epochs);
+        let obs_on = dmra_obs::enabled();
+        let observer = self.observer.clone().or_else(dmra_obs::epoch_observer);
+        let aux_counters = observer.as_ref().map(|_| AuxCounters::fetch());
+
+        for epoch in 0..cfg.epochs {
+            let epoch_started = obs_on.then(std::time::Instant::now);
+            let admitted_before = state.outcome.admitted;
+            let cloud_before = state.outcome.cloud_forwarded;
+            let completed_before = state.outcome.completed;
+            let aux_before = aux_counters.as_ref().map_or((0, 0, 0), AuxCounters::read);
+            state.release_departures(epoch);
+            let n_new = poisson(cfg.arrival_rate, &mut rng);
+            state.outcome.arrivals += n_new as u64;
+            let mut solve_ns = 0u64;
+            let mut digest = 0u64;
+            let mut degradation = ProtoEpochAux::default();
+            if n_new > 0 {
+                let ues = self.draw_arrivals(n_new, &mut rng);
+                let offsets: Vec<f64> = (0..n_new)
+                    .map(|_| cfg.holding.sample(cfg.mean_holding, &mut rng))
+                    .collect();
+                let instance = ctx.epoch_instance(&state.rem_cru, &state.rem_rrb, ues)?;
+                let options = faults.epoch_options(cfg.seed, epoch);
+                let solve_started = obs_on.then(std::time::Instant::now);
+                let outcome = run_protocol(instance, &proto_config, options)?;
+                solve_ns = record_solve_phase(obs_on, solve_started);
+                let allocation = outcome.allocation;
+                debug_assert!(allocation.validate(instance).is_ok());
+                if observer.is_some() {
+                    digest = allocation.digest();
+                    let oracle_alloc = oracle.allocate(instance);
+                    degradation = ProtoEpochAux {
+                        rounds: outcome.stats.rounds as u64,
+                        messages: outcome.stats.messages_sent,
+                        dropped: outcome.stats.messages_dropped,
+                        absorbed: outcome.stats.absorbed_by_crash,
+                        conflicts: outcome.conflicting_accepts,
+                        oracle_profit_gap: instance.total_profit(&oracle_alloc).get()
+                            - instance.total_profit(&allocation).get(),
+                        oracle_unserved_gap: oracle_alloc.edge_served() as f64
+                            - allocation.edge_served() as f64,
+                    };
+                }
+                state.commit_epoch(instance, &allocation, &offsets, epoch);
+            }
+            state.finish_epoch();
+            let epoch_ns = epoch_started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            if obs_on {
+                // Same stream names as the other engines, so traces line
+                // up epoch for epoch.
+                static EPOCHS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.epochs");
+                static ARRIVALS: dmra_obs::LazyCounter = dmra_obs::LazyCounter::new("sim.arrivals");
+                static EPOCH_NS: dmra_obs::LazyHistogram =
+                    dmra_obs::LazyHistogram::new("sim.epoch_ns");
+                EPOCHS.get().inc();
+                ARRIVALS.get().add(n_new as u64);
+                EPOCH_NS.get().record(epoch_ns);
+                dmra_obs::global_trace().record(dmra_obs::TraceEvent {
+                    name: "sim.epoch",
+                    index: epoch as u64,
+                    fields: vec![
+                        ("arrivals", n_new as f64),
+                        (
+                            "admitted",
+                            (state.outcome.admitted - admitted_before) as f64,
+                        ),
+                        (
+                            "in_service",
+                            state.outcome.in_service.last().copied().unwrap_or(0) as f64,
+                        ),
+                        (
+                            "occupancy",
+                            state.outcome.rrb_occupancy.last().copied().unwrap_or(0.0),
+                        ),
+                        ("wall_ns", epoch_ns as f64),
+                    ],
+                });
+            }
+            if let Some(obs) = &observer {
+                let record = degradation.push(push_common_aux(
+                    finished_epoch_record(
+                        epoch,
+                        n_new,
+                        &state.outcome,
+                        admitted_before,
+                        cloud_before,
+                        completed_before,
+                        digest,
+                    ),
+                    epoch_ns,
+                    solve_ns,
+                    aux_counters.as_ref().expect("fetched alongside observer"),
+                    aux_before,
+                ));
                 obs.on_record(&record);
             }
         }
@@ -1180,6 +1508,34 @@ impl AuxCounters {
     }
 }
 
+/// Per-epoch degradation telemetry of the protocol-backed engine,
+/// appended to the aux section only (the det section stays byte-identical
+/// to the other engines — that is the whole point of the recorder test).
+/// All-zero for epochs with no arrivals, matching the digest convention.
+#[derive(Debug, Default)]
+struct ProtoEpochAux {
+    rounds: u64,
+    messages: u64,
+    dropped: u64,
+    absorbed: u64,
+    conflicts: u64,
+    oracle_profit_gap: f64,
+    oracle_unserved_gap: f64,
+}
+
+impl ProtoEpochAux {
+    fn push(&self, record: EpochRecord) -> EpochRecord {
+        record
+            .aux("proto_rounds", self.rounds)
+            .aux("proto_messages", self.messages)
+            .aux("proto_dropped", self.dropped)
+            .aux("proto_absorbed", self.absorbed)
+            .aux("proto_conflicts", self.conflicts)
+            .aux("oracle_profit_gap", self.oracle_profit_gap)
+            .aux("oracle_unserved_gap", self.oracle_unserved_gap)
+    }
+}
+
 /// Appends the standard aux fields shared by the dynamic engines:
 /// wall/solve timing plus per-epoch row-cache and component-count
 /// deltas against the `before` reading.
@@ -1492,6 +1848,113 @@ mod tests {
             matches!(&err, Error::InvalidConfig(m) if m.contains("interference")),
             "unexpected error {err}"
         );
+    }
+
+    #[test]
+    fn proto_engine_matches_incremental_under_reliable_delivery() {
+        // The message-passing protocol, run per epoch against residual
+        // budgets, is bit-identical to the in-memory matcher when nothing
+        // is lost, delayed or crashed.
+        for seed in [2u64, 7, 13] {
+            let sim = DynamicSimulator::new(base_config(25.0, seed));
+            assert_eq!(
+                sim.run_proto(&ProtoFaults::default()).unwrap(),
+                sim.run().unwrap(),
+                "seed {seed} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn proto_engine_with_faults_conserves_tasks() {
+        let sim = DynamicSimulator::new(base_config(20.0, 5));
+        let out = sim
+            .run_proto(&ProtoFaults {
+                drop_prob: 0.2,
+                delay: ProtoDelay::Random(2),
+                crashes: vec![(BsId::new(3), 10)],
+                max_rounds: 0,
+            })
+            .unwrap();
+        assert_eq!(out.arrivals, out.admitted + out.cloud_forwarded);
+        let in_service_end = *out.in_service.last().unwrap() as u64;
+        assert_eq!(out.admitted, out.completed + in_service_end);
+        assert!(out
+            .rrb_occupancy
+            .iter()
+            .all(|&o| (0.0..=1.0 + 1e-9).contains(&o)));
+    }
+
+    #[test]
+    fn proto_engine_all_bss_crashed_forwards_everything_to_cloud() {
+        let n_bss = ScenarioConfig::paper_defaults().n_bss();
+        let sim = DynamicSimulator::new(base_config(10.0, 9));
+        let out = sim
+            .run_proto(&ProtoFaults {
+                crashes: (0..n_bss).map(|i| (BsId::new(i), 0)).collect(),
+                ..ProtoFaults::default()
+            })
+            .unwrap();
+        assert!(out.arrivals > 0);
+        assert_eq!(out.admitted, 0, "dead control plane admitted tasks");
+        assert_eq!(out.cloud_forwarded, out.arrivals);
+    }
+
+    #[test]
+    fn proto_engine_rejects_bad_fault_specs() {
+        let sim = DynamicSimulator::new(base_config(10.0, 1));
+        let err = sim
+            .run_proto(&ProtoFaults {
+                drop_prob: 1.0,
+                ..ProtoFaults::default()
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidConfig(m) if m.contains("drop probability")),
+            "unexpected error {err}"
+        );
+        let err = sim
+            .run_proto(&ProtoFaults {
+                crashes: vec![(BsId::new(9999), 0)],
+                ..ProtoFaults::default()
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidConfig(m) if m.contains("unknown")),
+            "unexpected error {err}"
+        );
+    }
+
+    #[test]
+    fn proto_delay_parses_and_displays() {
+        for (raw, want) in [
+            ("immediate", ProtoDelay::Immediate),
+            ("none", ProtoDelay::Immediate),
+            ("fixed:3", ProtoDelay::Fixed(3)),
+            ("random:5", ProtoDelay::Random(5)),
+        ] {
+            assert_eq!(raw.parse::<ProtoDelay>().unwrap(), want);
+        }
+        for bad in ["", "fixed", "fixed:", "fixed:-1", "random:x", "gamma:2"] {
+            let err = bad.parse::<ProtoDelay>().unwrap_err();
+            assert!(err.to_string().contains("invalid delay spec"), "{bad}");
+        }
+        assert_eq!(ProtoDelay::Fixed(2).to_string(), "fixed:2");
+        assert_eq!(ProtoDelay::Random(4).to_string(), "random:4");
+        assert_eq!(ProtoDelay::Immediate.to_string(), "immediate");
+    }
+
+    #[test]
+    fn epoch_fault_seeds_differ_across_epochs_and_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for run_seed in [1u64, 2, 3] {
+            for epoch in 0..100usize {
+                assert!(
+                    seen.insert(epoch_fault_seed(run_seed, epoch)),
+                    "collision at run_seed {run_seed} epoch {epoch}"
+                );
+            }
+        }
     }
 
     #[test]

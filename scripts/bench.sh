@@ -15,9 +15,14 @@
 # (asserts component-decomposed == monolithic DMRA outcomes, then fails
 # when 4 solve threads beat the monolithic path by less than
 # DMRA_SOLVE_SPEEDUP_MIN — 1.5x by default — on hosts with >= 4 hardware
-# threads; skipped likewise), and the telemetry overhead gate that writes
+# threads; skipped likewise), the telemetry overhead gate that writes
 # BENCH_obs_overhead.json (fails when enabling telemetry costs more than
-# its bound — 2% by default, see DMRA_OBS_OVERHEAD_BOUND_PCT).
+# its bound — 2% by default, see DMRA_OBS_OVERHEAD_BOUND_PCT), and the
+# protocol degradation gate that writes BENCH_proto.json (asserts the
+# fault-free protocol-backed engine bit-identical to the incremental
+# engine before any timing, then sweeps a drop x delay x crash grid and
+# fails when worst-case profit loss exceeds
+# DMRA_PROTO_MAX_PROFIT_LOSS_PCT — 60% by default).
 # Extra arguments are forwarded to `cargo bench` (e.g. a bench name
 # filter).
 set -euo pipefail
@@ -29,4 +34,5 @@ cargo run --release -p dmra-bench --bin figures -- bench_event
 cargo run --release -p dmra-bench --bin figures -- bench_linkbatch
 cargo run --release -p dmra-bench --bin figures -- bench_shard
 cargo run --release -p dmra-bench --bin figures -- bench_solve
+cargo run --release -p dmra-bench --bin figures -- bench_proto
 cargo run --release -p dmra-bench --bin figures -- obs_overhead

@@ -20,7 +20,8 @@ cargo build -q --workspace --no-default-features
 cargo build -q -p dmra-cli
 record="$(mktemp /tmp/dmra-smoke-XXXXXX.jsonl)"
 stderr_log="$(mktemp /tmp/dmra-smoke-XXXXXX.log)"
-trap 'rm -f "$record" "$stderr_log"' EXIT
+proto_record="$(mktemp /tmp/dmra-smoke-proto-XXXXXX.jsonl)"
+trap 'rm -f "$record" "$stderr_log" "$proto_record"' EXIT
 ./target/debug/dmra dynamic --rate 120 --epochs 8000 \
     --record "$record" --metrics-addr 127.0.0.1:0 \
     >/dev/null 2>"$stderr_log" &
@@ -54,3 +55,18 @@ bad=$(grep -cv '^{"schema": "dmra-flight/1", "stream": "sim.epoch", "index": [0-
 [[ "$(wc -l <"$record")" -eq 8000 ]] || { echo "expected 8000 flight records, got $(wc -l <"$record")" >&2; exit 1; }
 grep -q '"digest": ' "$record" || { echo "flight records carry no outcome digest" >&2; exit 1; }
 echo "flight-recorder smoke OK ($(wc -l <"$record") records, scraped $addr mid-run)"
+
+# Protocol-engine smoke: the message-passing engine under 10% loss still
+# writes a schema-valid flight record — per-epoch `sim.epoch` lines (with
+# the degradation aux fields) interleaved with the round engine's
+# per-round `proto.round` lines, both through the process-global slot.
+./target/debug/dmra dynamic --engine proto --drop 10 --rate 20 --epochs 40 \
+    --record "$proto_record" >/dev/null
+[[ -s "$proto_record" ]] || { echo "proto flight record $proto_record is empty" >&2; exit 1; }
+bad=$(grep -cv '^{"schema": "dmra-flight/1", "stream": "\(sim\.epoch\|proto\.round\)", "index": [0-9]*, "det": {.*}, "aux": {.*}}$' "$proto_record" || true)
+[[ "$bad" -eq 0 ]] || { echo "$bad proto flight-record lines failed schema validation" >&2; head -n3 "$proto_record" >&2; exit 1; }
+[[ "$(grep -c '"stream": "sim.epoch"' "$proto_record")" -eq 40 ]] || { echo "expected 40 sim.epoch records in the proto run" >&2; exit 1; }
+grep -q '"stream": "proto.round"' "$proto_record" || { echo "proto run recorded no proto.round stream" >&2; exit 1; }
+grep -q '"proto_dropped":' "$proto_record" || { echo "proto epochs carry no degradation aux fields" >&2; exit 1; }
+grep -q '"oracle_profit_gap":' "$proto_record" || { echo "proto epochs carry no oracle gap" >&2; exit 1; }
+echo "proto-engine smoke OK ($(wc -l <"$proto_record") records)"

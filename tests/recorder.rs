@@ -13,7 +13,7 @@
 //! [`dmra::obs::det_projection`]s.
 
 use dmra::obs::{det_projection, Recorder, SharedBuf};
-use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution};
+use dmra_sim::dynamic::{DynamicConfig, DynamicSimulator, HoldingDistribution, ProtoFaults};
 use dmra_sim::mobility::{MobilityConfig, MobilityPolicy, MobilitySimulator};
 use dmra_sim::ScenarioConfig;
 use std::sync::Arc;
@@ -41,21 +41,35 @@ fn mob_config() -> MobilityConfig {
     }
 }
 
-/// Records one dynamic run through `engine` into an in-memory buffer and
-/// returns the full JSONL document.
-fn record_dynamic(engine: &str, shards: usize, sample_every: u64) -> String {
+/// Records one dynamic run of `config` through `engine` into an
+/// in-memory buffer and returns the full JSONL document.
+fn record_dynamic_with(
+    config: DynamicConfig,
+    engine: &str,
+    shards: usize,
+    sample_every: u64,
+) -> String {
     let buf = SharedBuf::new();
     let recorder = Arc::new(Recorder::to_writer(Box::new(buf.clone()), sample_every));
-    let sim = DynamicSimulator::new(dyn_config()).with_observer(recorder.clone());
+    let sim = DynamicSimulator::new(config).with_observer(recorder.clone());
     match engine {
         "incremental" => sim.run().unwrap(),
         "event" => sim.run_event().unwrap(),
         "sharded" => sim.run_sharded_n(shards).unwrap(),
         "scratch" => sim.run_scratch().unwrap(),
+        // Fault-free message-passing protocol: per-round flight records go
+        // only through the process-global slot, so this instance-attached
+        // stream stays line-for-line comparable with the other engines.
+        "proto" => sim.run_proto(&ProtoFaults::default()).unwrap(),
         other => panic!("unknown engine {other}"),
     };
     assert!(recorder.finish(), "in-memory recorder cannot fail");
     buf.contents()
+}
+
+/// [`record_dynamic_with`] on the default [`dyn_config`].
+fn record_dynamic(engine: &str, shards: usize, sample_every: u64) -> String {
+    record_dynamic_with(dyn_config(), engine, shards, sample_every)
 }
 
 fn record_mobility(engine: &str, shards: usize) -> String {
@@ -97,6 +111,25 @@ fn dynamic_det_projection_is_identical_across_engines_and_shard_counts() {
             det_projection(&record_dynamic("sharded", shards, 1)),
             reference,
             "sharded engine det stream diverged at {shards} shards"
+        );
+    }
+}
+
+/// The acceptance witness for the protocol-backed engine: under reliable
+/// immediate delivery its recorded `sim.epoch` det stream — including the
+/// per-epoch `Allocation::digest()` — is byte-identical to the
+/// incremental engine's, across several seeds.
+#[test]
+fn proto_engine_det_stream_matches_incremental_across_seeds() {
+    for seed in [7u64, 21, 1234] {
+        let mut config = dyn_config();
+        config.seed = seed;
+        let reference = det_projection(&record_dynamic_with(config.clone(), "incremental", 0, 1));
+        assert!(reference.contains("\"digest\":"), "{reference}");
+        assert_eq!(
+            det_projection(&record_dynamic_with(config, "proto", 0, 1)),
+            reference,
+            "proto engine det stream diverged at seed {seed}"
         );
     }
 }
