@@ -90,10 +90,13 @@ pub fn help_text() -> String {
      \t                 (default exact = bit-identical to the scalar\n\
      \t                 evaluator; approx trades ~1e-10 relative error\n\
      \t                 for polynomial transcendentals)\n\
-     \t--solve M        monolithic | components: DMRA solve execution\n\
-     \t                 (default monolithic; components decomposes each\n\
-     \t                 instance into candidate-graph components and\n\
-     \t                 solves them in parallel — identical results)\n"
+     \t--solve M        monolithic | components | delta: DMRA solve\n\
+     \t                 execution (default monolithic; components\n\
+     \t                 decomposes each instance into candidate-graph\n\
+     \t                 components and solves them in parallel; delta\n\
+     \t                 additionally replays cached component matchings\n\
+     \t                 across epochs under low churn — identical\n\
+     \t                 results either way)\n"
         .to_owned()
 }
 
@@ -225,16 +228,18 @@ fn configure_batch_mode(parsed: &ParsedArgs) -> Result<(), ArgError> {
 
 /// Applies `--solve M` to the process-global default [`SolveMode`], picked
 /// up by every DMRA solve in the command — all engines and the sharded
-/// runtime included. `components` only changes wall-clock time: outcomes
-/// are bit-identical to `monolithic` (instances whose physics forbid
-/// splitting quietly stay monolithic).
+/// runtime included. `components` and `delta` only change wall-clock
+/// time: outcomes are bit-identical to `monolithic` (instances whose
+/// physics forbid splitting quietly stay monolithic, and `delta` without
+/// cross-epoch churn metadata degrades to `components`).
 fn configure_solve_mode(parsed: &ParsedArgs) -> Result<(), ArgError> {
     match parsed.get("solve") {
         None | Some("monolithic") => set_solve_mode_default(SolveMode::Monolithic),
         Some("components") => set_solve_mode_default(SolveMode::Components),
+        Some("delta") => set_solve_mode_default(SolveMode::Delta),
         Some(other) => {
             return Err(ArgError(format!(
-                "--solve must be 'monolithic' or 'components', got '{other}'"
+                "--solve must be 'monolithic', 'components' or 'delta', got '{other}'"
             )))
         }
     }
@@ -1108,13 +1113,16 @@ mod tests {
         // outcome — only which execution strategy computed it.
         let mono = run(&["run", "--ues", "80", "--solve", "monolithic"]).unwrap();
         let comp = run(&["run", "--ues", "80", "--solve", "components"]).unwrap();
+        let delta = run(&["run", "--ues", "80", "--solve", "delta"]).unwrap();
         let default = run(&["run", "--ues", "80"]).unwrap();
         assert_eq!(mono, comp);
+        assert_eq!(mono, delta);
         assert_eq!(mono, default);
 
         let args = ["--rate", "10", "--epochs", "8"];
         let d_mono = run(&[&["dynamic"], &args[..]].concat()).unwrap();
         let d_comp = run(&[&["dynamic", "--solve", "components"], &args[..]].concat()).unwrap();
+        let d_delta = run(&[&["dynamic", "--solve", "delta"], &args[..]].concat()).unwrap();
         let d_shard = run(&[
             &["dynamic", "--solve", "components", "--shards", "4"],
             &args[..],
@@ -1122,12 +1130,22 @@ mod tests {
         .concat())
         .unwrap();
         assert_eq!(d_mono, d_comp);
+        assert_eq!(d_mono, d_delta);
         assert_eq!(d_mono, d_shard);
 
         let margs = ["--ues", "60", "--speed", "12", "--epochs", "5"];
         let m_mono = run(&[&["mobility"], &margs[..]].concat()).unwrap();
         let m_comp = run(&[&["mobility", "--solve", "components"], &margs[..]].concat()).unwrap();
+        let m_delta = run(&[&["mobility", "--solve", "delta"], &margs[..]].concat()).unwrap();
+        let m_delta_shard = run(&[
+            &["mobility", "--solve", "delta", "--shards", "4"],
+            &margs[..],
+        ]
+        .concat())
+        .unwrap();
         assert_eq!(m_mono, m_comp);
+        assert_eq!(m_mono, m_delta);
+        assert_eq!(m_mono, m_delta_shard);
 
         let err = run(&["run", "--solve", "psychic"]).unwrap_err();
         assert!(err.to_string().contains("--solve"));

@@ -21,7 +21,9 @@ cargo build -q -p dmra-cli
 record="$(mktemp /tmp/dmra-smoke-XXXXXX.jsonl)"
 stderr_log="$(mktemp /tmp/dmra-smoke-XXXXXX.log)"
 proto_record="$(mktemp /tmp/dmra-smoke-proto-XXXXXX.jsonl)"
-trap 'rm -f "$record" "$stderr_log" "$proto_record"' EXIT
+delta_record="$(mktemp /tmp/dmra-smoke-delta-XXXXXX.jsonl)"
+delta_base="$(mktemp /tmp/dmra-smoke-deltabase-XXXXXX.jsonl)"
+trap 'rm -f "$record" "$stderr_log" "$proto_record" "$delta_record" "$delta_base"' EXIT
 ./target/debug/dmra dynamic --rate 120 --epochs 8000 \
     --record "$record" --metrics-addr 127.0.0.1:0 \
     >/dev/null 2>"$stderr_log" &
@@ -70,3 +72,18 @@ grep -q '"stream": "proto.round"' "$proto_record" || { echo "proto run recorded 
 grep -q '"proto_dropped":' "$proto_record" || { echo "proto epochs carry no degradation aux fields" >&2; exit 1; }
 grep -q '"oracle_profit_gap":' "$proto_record" || { echo "proto epochs carry no oracle gap" >&2; exit 1; }
 echo "proto-engine smoke OK ($(wc -l <"$proto_record") records)"
+
+# Delta-solve smoke: the cross-epoch delta solver must leave an epoch
+# digest trail bit-identical to the incremental engine's default solve
+# path — same workload, same flight-record schema, only the solver
+# differs. The nondeterministic "aux" halves (wall-clock timings) are
+# stripped before comparing.
+./target/debug/dmra dynamic --rate 40 --epochs 200 --solve delta \
+    --record "$delta_record" >/dev/null
+./target/debug/dmra dynamic --rate 40 --epochs 200 \
+    --record "$delta_base" >/dev/null
+[[ "$(wc -l <"$delta_record")" -eq 200 ]] || { echo "expected 200 delta flight records, got $(wc -l <"$delta_record")" >&2; exit 1; }
+cmp -s <(sed 's/, "aux": {.*}}$//' "$delta_record") \
+       <(sed 's/, "aux": {.*}}$//' "$delta_base") \
+    || { echo "--solve delta epoch digests diverged from the incremental engine" >&2; exit 1; }
+echo "delta-solve smoke OK (200 epoch digests identical)"
